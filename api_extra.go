@@ -1,0 +1,73 @@
+package crossbfs
+
+import (
+	"time"
+
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/graph"
+)
+
+// This file extends the facade with the secondary public surface:
+// alternative switching heuristics from the literature, real
+// wall-clock measurement, and text graph I/O.
+
+// NewMNPolicy returns the paper's switching rule as a reusable Policy.
+func NewMNPolicy(m, n float64) Policy { return bfs.MN{M: m, N: n} }
+
+// NewBeamerPolicy returns Beamer et al.'s SC'12 alpha/beta heuristic
+// (the combination rule the paper builds on). Non-positive arguments
+// select the published constants (14, 24). The returned policy is
+// stateful: use one instance per traversal.
+func NewBeamerPolicy(alpha, beta float64) Policy { return bfs.NewAlphaBeta(alpha, beta) }
+
+// NewHongPolicy returns Hong et al.'s PACT'11 one-way switching
+// heuristic. The returned policy is stateful: one instance per
+// traversal.
+func NewHongPolicy() Policy { return bfs.NewHongHybrid() }
+
+// BFSWithPolicy runs a real traversal under any switching policy.
+func BFSWithPolicy(g *Graph, source int32, policy Policy) (*Result, error) {
+	return bfs.Run(g, source, bfs.Options{Policy: policy})
+}
+
+// Measured is a real wall-clock timing of a host traversal.
+type Measured = core.MeasuredTiming
+
+// MeasureBFS times the actual Go implementation (not the simulator)
+// running a traversal under the given policy, with per-level wall
+// times.
+func MeasureBFS(g *Graph, source int32, policy Policy, name string) (*Result, *Measured, error) {
+	return core.Measure(g, source, policy, name, 0)
+}
+
+// LoadEdgeListGraph reads a plain-text edge list ("u v" per line, #
+// comments) such as the SNAP datasets, compacts the vertex ids, and
+// returns the symmetrized graph plus the compact->original id map.
+func LoadEdgeListGraph(path string) (*Graph, []int64, error) {
+	return graph.LoadEdgeList(path)
+}
+
+// MeasureAll is a convenience that times all three kernels plus the
+// Beamer heuristic on one traversal and returns the wall times keyed
+// by engine name.
+func MeasureAll(g *Graph, source int32) (map[string]time.Duration, error) {
+	engines := []struct {
+		name   string
+		policy Policy
+	}{
+		{"top-down", bfs.AlwaysTopDown},
+		{"bottom-up", bfs.AlwaysBottomUp},
+		{"hybrid-mn", bfs.MN{M: 64, N: 64}},
+		{"beamer-ab", bfs.NewAlphaBeta(0, 0)},
+	}
+	out := make(map[string]time.Duration, len(engines))
+	for _, e := range engines {
+		_, timing, err := core.Measure(g, source, e.policy, e.name, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[e.name] = timing.Total
+	}
+	return out, nil
+}

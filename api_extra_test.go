@@ -1,0 +1,102 @@
+package crossbfs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyConstructors(t *testing.T) {
+	g, err := GenerateRMAT(10, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := firstSource(t, g)
+	want, err := BFSTopDown(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, policy := range map[string]Policy{
+		"mn":     NewMNPolicy(64, 64),
+		"beamer": NewBeamerPolicy(0, 0),
+		"hong":   NewHongPolicy(),
+	} {
+		res, err := BFSWithPolicy(g, src, policy)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ValidateBFS(g, res); err != nil {
+			t.Errorf("%s: invalid traversal: %v", name, err)
+		}
+		for v := range want.Level {
+			if res.Level[v] != want.Level[v] {
+				t.Fatalf("%s: disagrees with top-down at vertex %d", name, v)
+			}
+		}
+	}
+}
+
+func TestMeasureBFSFacade(t *testing.T) {
+	g, err := GenerateRMAT(11, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := firstSource(t, g)
+	res, m, err := MeasureBFS(g, src, NewMNPolicy(64, 64), "hybrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(g, res); err != nil {
+		t.Fatal(err)
+	}
+	if m.Total <= 0 || m.TEPS() <= 0 {
+		t.Errorf("degenerate measurement: %+v", m)
+	}
+}
+
+func TestMeasureAllFacade(t *testing.T) {
+	g, err := GenerateRMAT(10, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, err := MeasureAll(g, firstSource(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"top-down", "bottom-up", "hybrid-mn", "beamer-ab"} {
+		if times[name] <= 0 {
+			t.Errorf("%s: no time recorded", name)
+		}
+	}
+}
+
+func TestLoadEdgeListGraphFacade(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.el")
+	if err := os.WriteFile(path, []byte("# g\n5 7\n7 9\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, ids, err := LoadEdgeListGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || len(ids) != 3 {
+		t.Errorf("loaded %d vertices, %d ids", g.NumVertices(), len(ids))
+	}
+	if ids[0] != 5 || ids[2] != 9 {
+		t.Errorf("id map = %v", ids)
+	}
+}
+
+func TestGraphAnalysisViaFacade(t *testing.T) {
+	// Analysis methods are reachable through the Graph alias.
+	g, err := BuildGraph(6, []Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 3, To: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count := g.ConnectedComponents(); count != 3 {
+		t.Errorf("components = %d, want 3", count)
+	}
+	if d := g.ApproxDiameter(0); d != 2 {
+		t.Errorf("diameter = %d, want 2", d)
+	}
+}

@@ -1,0 +1,151 @@
+// Command bfsrun executes one BFS configuration on an R-MAT graph (or
+// a graph file) and prints the per-level breakdown — the "step-by-step
+// optimization" view of the paper's Table IV.
+//
+// Examples:
+//
+//	bfsrun -scale 17 -edgefactor 16 -plan all
+//	bfsrun -scale 17 -plan cputd+gpucb -m1 64 -n1 64 -m2 64 -n2 64
+//	bfsrun -graph g.csr -plan gpucb -m2 32 -n2 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "R-MAT SCALE (log2 vertices) when generating")
+		edgeFactor = flag.Int("edgefactor", 16, "R-MAT edge factor when generating")
+		seed       = flag.Uint64("seed", 1, "R-MAT seed")
+		graphPath  = flag.String("graph", "", "load a CSR graph file instead of generating")
+		source     = flag.Int("source", -1, "source vertex (-1 = first non-isolated)")
+		planName   = flag.String("plan", "all", "plan: gputd, gpubu, gpucb, cputd, cpubu, cpucb, miccb, cputd+gpubu, cputd+gpucb, or 'all'")
+		m1         = flag.Float64("m1", 64, "host/cross M threshold")
+		n1         = flag.Float64("n1", 64, "host/cross N threshold")
+		m2         = flag.Float64("m2", 64, "coprocessor M threshold")
+		n2         = flag.Float64("n2", 64, "coprocessor N threshold")
+		perLevel   = flag.Bool("levels", true, "print per-level timings")
+		showTrace  = flag.Bool("trace", false, "print per-level work counts (|V|cq, |E|cq, scans)")
+	)
+	flag.Parse()
+
+	if err := run(*scale, *edgeFactor, *seed, *graphPath, *source, *planName, *m1, *n1, *m2, *n2, *perLevel, *showTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale, edgeFactor int, seed uint64, graphPath string, source int, planName string, m1, n1, m2, n2 float64, perLevel, showTrace bool) error {
+	// Validate the plan selection before paying for graph generation.
+	plans, err := selectPlans(planName, m1, n1, m2, n2)
+	if err != nil {
+		return err
+	}
+
+	var g *graph.CSR
+	if graphPath != "" {
+		g, err = graph.Load(graphPath)
+	} else {
+		p := rmat.DefaultParams(scale, edgeFactor)
+		p.Seed = seed
+		g, err = rmat.Generate(p)
+	}
+	if err != nil {
+		return err
+	}
+
+	src, err := pickSource(g, source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d directed edges, source %d\n", g.NumVertices(), g.NumEdges(), src)
+
+	tr, err := bfs.TraceFrom(g, src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traversal: depth %d, %d reachable, %d edges visited\n\n", tr.Depth(), tr.Reachable, tr.EdgesVisited)
+
+	if showTrace {
+		for _, s := range tr.Steps {
+			fmt.Printf("step %d: |V|cq=%d |E|cq=%d discovered=%d unvisited=%d buScans=%d meanScan=%.1f\n",
+				s.Step, s.FrontierVertices, s.FrontierEdges, s.Discovered, s.UnvisitedVertices, s.BottomUpScans, s.MeanScan())
+		}
+		fmt.Println()
+	}
+
+	link := archsim.PCIe()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	var baseline float64
+	for _, pl := range plans {
+		t := core.Simulate(tr, pl, link)
+		if baseline == 0 {
+			baseline = t.Total
+		}
+		fmt.Fprintf(w, "%s\ttotal %.6fs\tspeedup %.1fx\tGTEPS %.3f\n", t.Plan, t.Total, baseline/t.Total, t.GTEPS())
+		if perLevel {
+			for _, st := range t.Steps {
+				fmt.Fprintf(w, "\tlevel %d\t%s %s\t%.6fs", st.Step, st.Kind, st.Dir, st.Kernel)
+				if st.Transfer > 0 {
+					fmt.Fprintf(w, "\t(+%.6fs transfer)", st.Transfer)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func pickSource(g *graph.CSR, requested int) (int32, error) {
+	if requested >= 0 {
+		if requested >= g.NumVertices() {
+			return 0, fmt.Errorf("source %d out of range [0,%d)", requested, g.NumVertices())
+		}
+		return int32(requested), nil
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			return int32(v), nil
+		}
+	}
+	return 0, fmt.Errorf("graph has no edges")
+}
+
+func selectPlans(name string, m1, n1, m2, n2 float64) ([]core.Plan, error) {
+	cpu, gpu, mic := archsim.SandyBridge(), archsim.KeplerK20x(), archsim.KnightsCorner()
+	all := []core.Plan{
+		core.FixedDirection(gpu, bfs.TopDown),
+		core.FixedDirection(gpu, bfs.BottomUp),
+		core.Combination(gpu, m2, n2),
+		core.FixedDirection(cpu, bfs.TopDown),
+		core.FixedDirection(cpu, bfs.BottomUp),
+		core.Combination(cpu, m1, n1),
+		core.Combination(mic, m1, n1),
+		core.CrossTDBU{Host: cpu, Coprocessor: gpu, M1: m1, N1: n1},
+		core.CrossPlan{Host: cpu, Coprocessor: gpu, M1: m1, N1: n1, M2: m2, N2: n2},
+	}
+	if name == "all" {
+		return all, nil
+	}
+	for _, pl := range all {
+		if strings.EqualFold(pl.Name(), name) {
+			return []core.Plan{pl}, nil
+		}
+	}
+	names := make([]string, len(all))
+	for i, pl := range all {
+		names[i] = pl.Name()
+	}
+	return nil, fmt.Errorf("unknown plan %q (have: %s, all)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crossbfs/internal/rmat"
+)
+
+func TestRunAllPlans(t *testing.T) {
+	if err := run(10, 8, 1, "", -1, "all", 64, 64, 64, 64, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSinglePlan(t *testing.T) {
+	if err := run(9, 8, 1, "", -1, "cputd+gpucb", 64, 64, 64, 64, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownPlan(t *testing.T) {
+	if err := run(8, 8, 1, "", -1, "warpdrive", 64, 64, 64, 64, false, false); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+func TestRunFromGraphFile(t *testing.T) {
+	g, err := rmat.Generate(rmat.DefaultParams(9, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(0, 0, 0, path, -1, "cpucb", 64, 64, 64, 64, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadSource(t *testing.T) {
+	if err := run(8, 8, 1, "", 1<<20, "cpucb", 64, 64, 64, 64, false, false); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestSelectPlansNames(t *testing.T) {
+	plans, err := selectPlans("all", 64, 64, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 9 {
+		t.Errorf("%d plans in 'all', want 9", len(plans))
+	}
+}

@@ -1,0 +1,214 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section.
+//
+//	experiments -run all
+//	experiments -run table4 -scale 17 -edgefactor 16
+//	experiments -run fig8
+//
+// Experiment ids: fig1, fig2, fig3, table3, fig8, table4, table5,
+// fig9, fig10a, fig10b, table6, comparisons, all. See EXPERIMENTS.md
+// for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/exp"
+	"crossbfs/internal/tuner"
+)
+
+func main() {
+	var (
+		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, realtable4, all)")
+		scale      = flag.Int("scale", 0, "override base SCALE (default 17)")
+		edgeFactor = flag.Int("edgefactor", 0, "override base edge factor (default 16)")
+		seed       = flag.Uint64("seed", 0, "override R-MAT seed (default 1)")
+		numRoots   = flag.Int("roots", 0, "override Graph500 root count (default 16)")
+		modelPath  = flag.String("model", "", "load a trained switching-point model (fig8) instead of training one")
+		csvDir     = flag.String("csv", "", "also write figure data as <id>.csv files into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed, NumRoots: *numRoots}
+	if err := dispatch(*run, cfg, *modelPath, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(run string, cfg exp.Config, modelPath, csvDir string) error {
+	ids := []string{run}
+	if run == "all" {
+		ids = []string{"fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9", "fig10a", "fig10b", "table6", "comparisons", "heuristics", "multi", "realtable4"}
+	}
+	for _, id := range ids {
+		fmt.Printf("==== %s ====\n", strings.ToUpper(id))
+		if err := runOne(id, cfg, modelPath, csvDir); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(id string, cfg exp.Config, modelPath, csvDir string) error {
+	w := os.Stdout
+
+	// csvSink opens <csvDir>/<id>.csv when -csv is set; emit runs the
+	// writer against it and is a no-op otherwise.
+	emit := func(write func(io.Writer) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(csvDir, id+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	switch id {
+	case "fig1", "fig2":
+		// Both figures come from the same per-level profile; Fig. 1
+		// reads the |V|cq column, Fig. 2 the |E|cq column.
+		profiles, err := exp.FrontierProfiles(nil, cfg.EdgeFactor, cfg.Seed+1)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.FrontierProfilesCSV(cw, profiles) }); err != nil {
+			return err
+		}
+		return exp.RenderFrontierProfiles(w, profiles)
+	case "fig3":
+		rows, err := exp.DirectionComparison(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.DirectionTimesCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderDirectionTimes(w, rows)
+	case "table3":
+		rows, err := exp.BestSwitchingPoints(nil, nil, max64(cfg.Seed, 1))
+		if err != nil {
+			return err
+		}
+		return exp.RenderBestM(w, rows)
+	case "fig8":
+		var model *tuner.Model
+		if modelPath != "" {
+			var err error
+			model, err = tuner.LoadModel(modelPath)
+			if err != nil {
+				return err
+			}
+		} else {
+			fmt.Println("training switching-point model on the default corpus...")
+			var err error
+			model, err = exp.TrainDefaultModel(nil)
+			if err != nil {
+				return err
+			}
+		}
+		rows, err := exp.StrategyComparison(cfg, model, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.StrategiesCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderStrategies(w, rows)
+	case "table4":
+		t, err := exp.StepByStepOptimization(cfg)
+		if err != nil {
+			return err
+		}
+		return exp.RenderStepByStep(w, t)
+	case "table5":
+		rows, err := exp.CrossSpeedups(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return exp.RenderCrossSpeedups(w, rows)
+	case "fig9":
+		rows, err := exp.CombinationComparison(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.CombinationsCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderCombinations(w, rows)
+	case "fig10a":
+		rows, err := exp.StrongScaling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.ScalingCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderScaling(w, rows)
+	case "fig10b":
+		rows, err := exp.WeakScaling(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.ScalingCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderScaling(w, rows)
+	case "table6":
+		rows, err := exp.AveragePerformance(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return exp.RenderAvgPerformance(w, rows)
+	case "comparisons":
+		rows, err := exp.ExternalComparisons(cfg)
+		if err != nil {
+			return err
+		}
+		return exp.RenderComparisons(w, rows)
+	case "heuristics":
+		rows, err := exp.HeuristicComparison(cfg, nil)
+		if err != nil {
+			return err
+		}
+		return exp.RenderHeuristics(w, rows)
+	case "realtable4":
+		r, err := exp.MeasuredStepByStep(cfg, 3)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	case "multi":
+		for _, kind := range []archsim.Kind{archsim.MIC, archsim.GPU} {
+			rows, err := exp.MultiCoprocessorScaling(cfg, kind, 3)
+			if err != nil {
+				return err
+			}
+			if err := exp.RenderMultiCoprocessor(w, rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

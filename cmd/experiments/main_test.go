@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crossbfs/internal/exp"
+)
+
+var testCfg = exp.Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+
+func TestRunOneLightExperiments(t *testing.T) {
+	for _, id := range []string{"fig1", "fig3", "table5"} {
+		if err := runOne(id, testCfg, "", ""); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("fig99", testCfg, "", ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestDispatchSingle(t *testing.T) {
+	if err := dispatch("fig3", testCfg, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneFig8MissingModel(t *testing.T) {
+	if err := runOne("fig8", testCfg, "/nonexistent/model.gob", ""); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+func TestRunOneCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	if err := runOne("fig3", testCfg, "", dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "level,topdown_s,bottomup_s") {
+		t.Errorf("csv header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunOneCSVBadDir(t *testing.T) {
+	if err := runOne("fig3", testCfg, "", "/nonexistent/place"); err == nil {
+		t.Error("unwritable csv dir accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunRealMode(t *testing.T) {
+	if err := run(10, 8, 1, 4, "real", "", 64, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimMode(t *testing.T) {
+	for _, plan := range []string{"cputd", "cpucb", "gpucb", "miccb", "cross"} {
+		if err := run(9, 8, 1, 2, "sim", plan, 64, 64, 0); err != nil {
+			t.Fatalf("plan %s: %v", plan, err)
+		}
+	}
+}
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run(8, 8, 1, 2, "quantum", "", 64, 64, 0); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRunUnknownPlan(t *testing.T) {
+	if err := run(8, 8, 1, 2, "sim", "abacus", 64, 64, 0); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}

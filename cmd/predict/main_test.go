@@ -1,0 +1,67 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/rmat"
+	"crossbfs/internal/tuner"
+)
+
+// trainedModel writes a tiny model for CLI tests.
+func trainedModel(t *testing.T) string {
+	t.Helper()
+	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
+	spec := tuner.CorpusSpec{
+		Scales:          []int{9, 10},
+		EdgeFactors:     []int{8},
+		ProbSets:        [][4]float64{{0.57, 0.19, 0.19, 0.05}},
+		Seeds:           []uint64{1},
+		SourcesPerGraph: 1,
+		ArchPairs:       [][2]archsim.Arch{{cpu, gpu}, {gpu, gpu}},
+		Link:            archsim.PCIe(),
+		Candidates:      tuner.CandidateGrid(8, 6, 300, 300),
+	}
+	samples, err := tuner.BuildCorpus(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tuner.Train(samples, tuner.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := model.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPredictGenerated(t *testing.T) {
+	model := trainedModel(t)
+	if err := run(model, 10, 8, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictFromGraphFile(t *testing.T) {
+	model := trainedModel(t)
+	g, err := rmat.Generate(rmat.DefaultParams(9, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(model, 9, 8, 1, path, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictMissingModel(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "none.gob"), 10, 8, 1, "", false); err == nil {
+		t.Error("missing model accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+func TestGenerateWritesLoadableGraph(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.csr")
+	p := rmat.DefaultParams(10, 8)
+	if err := generate(p, out, true); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Load(out)
+	if err != nil {
+		t.Fatalf("generated file unloadable: %v", err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("loaded %d vertices", g.NumVertices())
+	}
+}
+
+func TestGenerateRejectsBadParams(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.csr")
+	p := rmat.DefaultParams(10, 8)
+	p.A = 0.99 // probabilities exceed 1
+	if err := generate(p, out, false); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+}
+
+func TestGenerateBadPath(t *testing.T) {
+	p := rmat.DefaultParams(6, 4)
+	if err := generate(p, filepath.Join(t.TempDir(), "missing", "dir", "g.csr"), false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,136 @@
+// Command trainer runs the paper's off-line stage (Fig. 6): build a
+// corpus of (graph, architecture pair) samples labelled with their
+// exhaustively best switching points, train the SVM regression model,
+// and save it for on-line use by the other tools.
+//
+//	trainer -o model.gob
+//	trainer -o model.gob -scales 12,13,14 -edgefactors 8,16 -sources 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crossbfs/internal/tuner"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "model.gob", "output model path")
+		scales      = flag.String("scales", "", "comma-separated graph scales (default 13,14)")
+		edgeFactors = flag.String("edgefactors", "", "comma-separated edge factors (default 8,16)")
+		sources     = flag.Int("sources", 0, "BFS sources per graph (default 2)")
+		corpusOut   = flag.String("corpus-out", "", "also save the labelled corpus as JSON")
+		corpusIn    = flag.String("corpus-in", "", "train from a saved corpus instead of building one")
+		cv          = flag.Bool("cv", false, "select hyperparameters by 4-fold cross-validation")
+		quiet       = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if err := run(*out, *scales, *edgeFactors, *sources, *corpusOut, *corpusIn, *cv, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "trainer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, scales, edgeFactors string, sources int, corpusOut, corpusIn string, cv, quiet bool) error {
+	if corpusIn != "" {
+		samples, err := tuner.LoadCorpus(corpusIn)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("loaded %d samples from %s\n", len(samples), corpusIn)
+		}
+		return trainAndSave(samples, out, cv, quiet)
+	}
+
+	spec := tuner.DefaultCorpusSpec()
+	if scales != "" {
+		s, err := parseInts(scales)
+		if err != nil {
+			return fmt.Errorf("parsing -scales: %w", err)
+		}
+		spec.Scales = s
+	}
+	if edgeFactors != "" {
+		s, err := parseInts(edgeFactors)
+		if err != nil {
+			return fmt.Errorf("parsing -edgefactors: %w", err)
+		}
+		spec.EdgeFactors = s
+	}
+	if sources > 0 {
+		spec.SourcesPerGraph = sources
+	}
+
+	var progress func(done, total int)
+	if !quiet {
+		fmt.Printf("building corpus: %d samples\n", spec.NumSamples())
+		progress = func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Printf("  labelled %d/%d\n", done, total)
+			}
+		}
+	}
+	samples, err := tuner.BuildCorpus(spec, progress)
+	if err != nil {
+		return err
+	}
+	if corpusOut != "" {
+		if err := tuner.SaveCorpus(samples, corpusOut); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("saved corpus to %s\n", corpusOut)
+		}
+	}
+	return trainAndSave(samples, out, cv, quiet)
+}
+
+// trainAndSave fits the model (optionally with CV model selection) and
+// writes it to out.
+func trainAndSave(samples []tuner.Labeled, out string, cv, quiet bool) error {
+	var model *tuner.Model
+	var err error
+	if cv {
+		var best tuner.CVResult
+		model, best, _, err = tuner.SelectModel(samples, nil, 4, 1)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("cross-validation selected C=%g gamma=%g (RMSE %.3f)\n",
+				best.Options.C, best.Options.Gamma, best.RMSE)
+		}
+	} else {
+		model, err = tuner.Train(samples, tuner.TrainOptions{})
+		if err != nil {
+			return err
+		}
+	}
+	if err := model.Save(out); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("trained on %d samples (%d + %d support vectors), saved to %s\n",
+			len(samples), model.MModel.NumSupportVectors(), model.NModel.NumSupportVectors(), out)
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

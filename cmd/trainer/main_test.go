@@ -1,0 +1,91 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"crossbfs/internal/tuner"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 12, 13 ,14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 12 || got[2] != 14 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("12,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestTrainerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	out := filepath.Join(t.TempDir(), "model.gob")
+	if err := run(out, "10,11", "8", 1, "", "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	m, err := tuner.LoadModel(out)
+	if err != nil {
+		t.Fatalf("trained model unloadable: %v", err)
+	}
+	p := m.Predict(tuner.Sample{Graph: tuner.GraphInfo{NumVertices: 2048, NumEdges: 32768}})
+	if p.M < 1 || p.N < 1 {
+		t.Errorf("prediction %v out of range", p)
+	}
+}
+
+func TestTrainerBadFlags(t *testing.T) {
+	if err := run("x.gob", "not-a-number", "", 0, "", "", false, true); err == nil {
+		t.Error("bad -scales accepted")
+	}
+	if err := run("x.gob", "", "also-bad", 0, "", "", false, true); err == nil {
+		t.Error("bad -edgefactors accepted")
+	}
+}
+
+func TestTrainerCorpusRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a corpus")
+	}
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus.json")
+	model1 := filepath.Join(dir, "m1.gob")
+	if err := run(model1, "10", "8", 1, corpus, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+	// Retrain from the saved corpus without rebuilding graphs.
+	model2 := filepath.Join(dir, "m2.gob")
+	if err := run(model2, "", "", 0, "", corpus, false, true); err != nil {
+		t.Fatal(err)
+	}
+	a, err := tuner.LoadModel(model1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tuner.LoadModel(model2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tuner.Sample{Graph: tuner.GraphInfo{NumVertices: 1024, NumEdges: 16384}}
+	pa, pb := a.Predict(probe), b.Predict(probe)
+	if pa != pb {
+		t.Errorf("corpus round trip changed the model: %v vs %v", pa, pb)
+	}
+}
+
+func TestTrainerCVMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep")
+	}
+	out := filepath.Join(t.TempDir(), "cv.gob")
+	if err := run(out, "10", "8", 2, "", "", true, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tuner.LoadModel(out); err != nil {
+		t.Fatal(err)
+	}
+}

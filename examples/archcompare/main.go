@@ -1,0 +1,67 @@
+// Archcompare reproduces the paper's third contribution — a pairwise
+// comparison of CPU, GPU and MIC for BFS-shaped workloads — over a
+// sweep of graph sizes, and prints the conclusions the paper draws
+// (Table VI, §VII): the GPU wins small and mid-sized graphs, the CPU
+// overtakes on large ones whose frontier bitmaps no longer fit the
+// GPU's small cache, and the MIC trails both without SIMD-specific
+// tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbfs"
+)
+
+func main() {
+	archs := []crossbfs.Arch{crossbfs.CPU(), crossbfs.GPU(), crossbfs.MIC()}
+
+	fmt.Println("architecture datasheets (paper Table II):")
+	for _, a := range archs {
+		fmt.Printf("  %-18s %4.2f GHz, %6.0f SP Gflops, %5.0f GB/s measured, RCMB %.1f\n",
+			a.Name, a.ClockGHz, a.PeakSPGflops, a.MeasuredBW, a.RCMB())
+	}
+	fmt.Println("\nBFS is memory-bound everywhere: algorithmic flops/byte ~0.5 vs")
+	fmt.Println("the RCMB figures above (paper §III-B).")
+
+	fmt.Println("\ntuned combination, harmonic-mean TEPS over 8 roots per graph:")
+	fmt.Printf("%8s %12s", "scale", "edges")
+	for _, a := range archs {
+		fmt.Printf(" %12s", a.Kind)
+	}
+	fmt.Println(" winner")
+
+	for _, scale := range []int{13, 14, 15, 16, 17, 18} {
+		g, err := crossbfs.GenerateRMAT(scale, 16, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %12d", scale, g.NumEdges())
+		bestName, bestTEPS := "", 0.0
+		for _, a := range archs {
+			plan := crossbfs.NewCombination(a, 64, 64)
+			rep, err := crossbfs.BenchmarkTEPS(g, plan, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.3f GT", rep.GTEPS())
+			if rep.Harmonic > bestTEPS {
+				bestTEPS, bestName = rep.Harmonic, a.Kind.String()
+			}
+		}
+		fmt.Printf(" %s\n", bestName)
+	}
+
+	fmt.Println("\nand the cross-architecture combination on the largest graph:")
+	g, err := crossbfs.GenerateRMAT(18, 16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cross := crossbfs.NewCrossPlan(crossbfs.CPU(), crossbfs.GPU(), 64, 64, 64, 64)
+	rep, err := crossbfs.BenchmarkTEPS(g, cross, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-12s %.3f GTEPS (harmonic mean over %d roots)\n", rep.Plan, rep.GTEPS(), rep.NumRoots)
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate an R-MAT graph, run a real hybrid BFS on it,
+// then price the paper's cross-architecture plan (Algorithm 3) on the
+// simulated CPU+GPU pair and compare it with the single-device
+// baselines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossbfs"
+)
+
+func main() {
+	// A Graph 500-style graph: 2^14 vertices, 16*2^14 generated edges.
+	g, err := crossbfs.GenerateRMAT(14, 16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d directed edges\n", g.NumVertices(), g.NumEdges())
+
+	// Pick a source and run the direction-optimizing hybrid for real.
+	source := firstNonIsolated(g)
+	res, err := crossbfs.BFS(g, source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := crossbfs.ValidateBFS(g, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFS from %d: %d reachable, depth %d, directions %v\n",
+		source, res.VisitedCount, res.Depth(), res.Directions)
+
+	// Price three plans on the architecture simulator.
+	plans := []crossbfs.Plan{
+		crossbfs.NewBaseline(crossbfs.GPU(), crossbfs.TopDown),
+		crossbfs.NewCombination(crossbfs.GPU(), 64, 64),
+		crossbfs.NewCrossPlan(crossbfs.CPU(), crossbfs.GPU(), 64, 64, 64, 64),
+	}
+	fmt.Println("\nsimulated timings:")
+	var baseline float64
+	for _, plan := range plans {
+		timing, err := crossbfs.Simulate(g, source, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = timing.Total
+		}
+		fmt.Printf("  %-12s %.6fs  (%.1fx over GPUTD, %.3f GTEPS)\n",
+			timing.Plan, timing.Total, baseline/timing.Total, timing.GTEPS())
+	}
+}
+
+func firstNonIsolated(g *crossbfs.Graph) int32 {
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			return int32(v)
+		}
+	}
+	return 0
+}

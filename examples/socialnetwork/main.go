@@ -1,0 +1,121 @@
+// Social network analysis — the paper's opening motivation (§I cites
+// user-interaction graphs). This example synthesizes a community-
+// structured network with hub users, then uses BFS to answer the
+// questions such graphs get asked: degrees of separation, reachable
+// audience by hop count, and which engine to use for the workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"crossbfs"
+)
+
+const (
+	numUsers      = 1 << 15
+	numCommunity  = 64
+	friendsPerUsr = 12
+	hubDivisor    = 500 // one celebrity per 500 users
+)
+
+func main() {
+	g, err := buildNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := g.ComputeStats()
+	fmt.Printf("network: %d users, %d friendships, max friends %d, avg %.1f\n",
+		stats.NumVertices, stats.NumEdges/2, stats.MaxDegree, stats.AvgDegree)
+
+	// Degrees of separation from a random user, computed with the
+	// direction-optimizing hybrid (real execution).
+	source := int32(42)
+	res, err := crossbfs.BFS(g, source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := crossbfs.ValidateBFS(g, res); err != nil {
+		log.Fatal(err)
+	}
+
+	hops := make(map[int32]int64)
+	for _, l := range res.Level {
+		if l >= 0 {
+			hops[l]++
+		}
+	}
+	fmt.Printf("\naudience of user %d by hop count (reachable: %d of %d):\n",
+		source, res.VisitedCount, g.NumVertices())
+	var cumulative int64
+	for h := int32(0); h <= res.Depth(); h++ {
+		cumulative += hops[h]
+		fmt.Printf("  <= %d hops: %8d users (%.1f%%)\n",
+			h, cumulative, 100*float64(cumulative)/float64(g.NumVertices()))
+	}
+	fmt.Printf("degrees of separation (diameter from user %d): %d\n", source, res.Depth())
+
+	// Which engine fits this workload? Compare all three for real and
+	// report where the hybrid switched.
+	fmt.Println("\nengine comparison (directions chosen per level):")
+	for name, run := range map[string]func(*crossbfs.Graph, int32) (*crossbfs.Result, error){
+		"top-down ": crossbfs.BFSTopDown,
+		"bottom-up": crossbfs.BFSBottomUp,
+		"hybrid   ": crossbfs.BFS,
+	} {
+		r, err := run(g, source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s levels=%d directions=%v\n", name, r.NumLevels(), r.Directions)
+	}
+
+	// And on which hardware? Price the tuned plans.
+	fmt.Println("\nsimulated platform comparison:")
+	for _, plan := range []crossbfs.Plan{
+		crossbfs.NewCombination(crossbfs.CPU(), 64, 64),
+		crossbfs.NewCombination(crossbfs.GPU(), 64, 64),
+		crossbfs.NewCombination(crossbfs.MIC(), 64, 64),
+		crossbfs.NewCrossPlan(crossbfs.CPU(), crossbfs.GPU(), 64, 64, 64, 64),
+	} {
+		timing, err := crossbfs.Simulate(g, source, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %.6fs (%.3f GTEPS)\n", timing.Plan, timing.Total, timing.GTEPS())
+	}
+}
+
+// buildNetwork synthesizes a community-clustered friendship graph:
+// most edges stay inside a user's community, a few bridge communities,
+// and a small set of hub users (celebrities) attract long-range edges.
+func buildNetwork() (*crossbfs.Graph, error) {
+	rng := rand.New(rand.NewSource(7))
+	communitySize := numUsers / numCommunity
+	numHubs := numUsers / hubDivisor
+
+	var edges []crossbfs.Edge
+	for u := 0; u < numUsers; u++ {
+		community := u / communitySize
+		base := community * communitySize
+		for f := 0; f < friendsPerUsr; f++ {
+			var v int
+			switch {
+			case rng.Float64() < 0.75:
+				// Friend within the community.
+				v = base + rng.Intn(communitySize)
+			case rng.Float64() < 0.5 && numHubs > 0:
+				// Follow a celebrity.
+				v = rng.Intn(numHubs)
+			default:
+				// Long-range acquaintance.
+				v = rng.Intn(numUsers)
+			}
+			if v != u {
+				edges = append(edges, crossbfs.Edge{From: int32(u), To: int32(v)})
+			}
+		}
+	}
+	return crossbfs.BuildGraph(numUsers, edges)
+}

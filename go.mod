@@ -1,0 +1,3 @@
+module crossbfs
+
+go 1.22

@@ -1,0 +1,27 @@
+package archsim
+
+import (
+	"testing"
+
+	"crossbfs/internal/bfs"
+)
+
+// BenchmarkStepTime measures one cost-model evaluation — this runs
+// tens of thousands of times per exhaustive search, so it must stay
+// allocation-free.
+func BenchmarkStepTime(b *testing.B) {
+	gpu := KeplerK20x()
+	s := bfs.LevelStats{
+		Step: 4, FrontierVertices: 100000, FrontierEdges: 3000000,
+		Discovered: 80000, UnvisitedVertices: 120000, UnvisitedEdges: 2500000,
+		BottomUpScans: 400000, MaxFrontierDegree: 5000, MaxScan: 400,
+		GraphVertices: 1 << 18,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += gpu.TopDownTime(s) + gpu.BottomUpTime(s)
+	}
+	_ = sink
+}

@@ -1,0 +1,35 @@
+package archsim
+
+// Link models the interconnect between two devices (PCIe gen 2 for the
+// paper's CPU<->K20x pairing). Crossing architectures mid-traversal
+// ships the frontier and the freshly discovered predecessor entries
+// across this link; the cost is what makes a *mistuned* switching
+// point so expensive for cross-architecture combination (paper §I:
+// 695x between best and worst).
+type Link struct {
+	// BandwidthGBs is the sustained transfer bandwidth in GB/s.
+	BandwidthGBs float64
+	// LatencySeconds is the fixed per-transfer setup cost.
+	LatencySeconds float64
+}
+
+// PCIe returns the default CPU<->GPU link: ~6 GB/s sustained, 15us
+// per transfer (pinned-memory DMA on the paper's generation of
+// hardware).
+func PCIe() Link {
+	return Link{BandwidthGBs: 6, LatencySeconds: 15e-6}
+}
+
+// SameDevice returns a zero-cost link, used when two logical devices
+// share memory.
+func SameDevice() Link {
+	return Link{BandwidthGBs: 0, LatencySeconds: 0}
+}
+
+// TransferTime returns the seconds needed to move n bytes.
+func (l Link) TransferTime(n int64) float64 {
+	if n <= 0 || l.BandwidthGBs == 0 {
+		return 0
+	}
+	return l.LatencySeconds + float64(n)/(l.BandwidthGBs*1e9)
+}

@@ -1,0 +1,49 @@
+package archsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	if got := PCIe().TransferTime(0); got != 0 {
+		t.Errorf("zero-byte transfer = %g, want 0", got)
+	}
+	if got := PCIe().TransferTime(-5); got != 0 {
+		t.Errorf("negative transfer = %g, want 0", got)
+	}
+}
+
+func TestTransferTimeIncludesLatency(t *testing.T) {
+	l := PCIe()
+	if got := l.TransferTime(1); got < l.LatencySeconds {
+		t.Errorf("tiny transfer %g below link latency %g", got, l.LatencySeconds)
+	}
+}
+
+func TestTransferTimeScale(t *testing.T) {
+	l := Link{BandwidthGBs: 1, LatencySeconds: 0}
+	if got := l.TransferTime(1e9); got != 1.0 {
+		t.Errorf("1GB over 1GB/s = %g, want 1", got)
+	}
+}
+
+func TestSameDeviceFree(t *testing.T) {
+	if got := SameDevice().TransferTime(1 << 30); got != 0 {
+		t.Errorf("same-device transfer = %g, want 0", got)
+	}
+}
+
+func TestTransferMonotone(t *testing.T) {
+	l := PCIe()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.TransferTime(x) <= l.TransferTime(y)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package bfs
+
+import (
+	"sync"
+	"testing"
+
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+var (
+	benchOnce sync.Once
+	benchG    *graph.CSR
+	benchSrc  int32
+	benchErr  error
+)
+
+func benchGraph(b *testing.B) (*graph.CSR, int32) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchG, benchErr = rmat.Generate(rmat.DefaultParams(15, 16))
+		if benchErr != nil {
+			return
+		}
+		for v := 0; v < benchG.NumVertices(); v++ {
+			if benchG.Degree(int32(v)) > 0 {
+				benchSrc = int32(v)
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchG, benchSrc
+}
+
+func benchTEPS(b *testing.B, r *Result, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(r.TraversedEdges * 4) // adjacency bytes touched
+}
+
+func BenchmarkSerial(b *testing.B) {
+	g, src := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Serial(g, src)
+		benchTEPS(b, r, err)
+	}
+}
+
+func BenchmarkTopDownSerialKernels(b *testing.B) {
+	g, src := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunTopDown(g, src, 1)
+		benchTEPS(b, r, err)
+	}
+}
+
+func BenchmarkTopDownParallel(b *testing.B) {
+	g, src := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunTopDown(g, src, 0)
+		benchTEPS(b, r, err)
+	}
+}
+
+func BenchmarkBottomUp(b *testing.B) {
+	g, src := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunBottomUp(g, src, 0)
+		benchTEPS(b, r, err)
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	g, src := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Hybrid(g, src, 64, 64, 0)
+		benchTEPS(b, r, err)
+	}
+}
+
+func BenchmarkComputeTrace(b *testing.B) {
+	g, src := benchGraph(b)
+	r, err := Serial(g, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeTrace(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g, src := benchGraph(b)
+	r, err := Serial(g, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package bfs
+
+import (
+	"testing"
+
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+// pathGraph returns 0-1-2-...-(n-1).
+func pathGraph(t *testing.T, n int) *graph.CSR {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1)})
+	}
+	return mustBuild(t, n, edges)
+}
+
+// starGraph returns a hub 0 connected to 1..n-1.
+func starGraph(t *testing.T, n int) *graph.CSR {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{From: 0, To: int32(i)})
+	}
+	return mustBuild(t, n, edges)
+}
+
+func mustBuild(t *testing.T, n int, edges []graph.Edge) *graph.CSR {
+	t.Helper()
+	g, err := graph.Build(n, edges, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func testRMAT(t *testing.T, scale, ef int, seed uint64) *graph.CSR {
+	t.Helper()
+	p := rmat.DefaultParams(scale, ef)
+	p.Seed = seed
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatalf("rmat.Generate: %v", err)
+	}
+	return g
+}
+
+func TestSerialPath(t *testing.T) {
+	g := pathGraph(t, 5)
+	r, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 5; v++ {
+		if r.Level[v] != v {
+			t.Errorf("Level[%d] = %d, want %d", v, r.Level[v], v)
+		}
+	}
+	if r.Parent[0] != 0 {
+		t.Error("source parent wrong")
+	}
+	for v := int32(1); v < 5; v++ {
+		if r.Parent[v] != v-1 {
+			t.Errorf("Parent[%d] = %d, want %d", v, r.Parent[v], v-1)
+		}
+	}
+	if r.VisitedCount != 5 {
+		t.Errorf("VisitedCount = %d, want 5", r.VisitedCount)
+	}
+	if r.Depth() != 4 {
+		t.Errorf("Depth = %d, want 4", r.Depth())
+	}
+	if err := Validate(g, r); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSerialStar(t *testing.T) {
+	g := starGraph(t, 100)
+	r, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(1); v < 100; v++ {
+		if r.Level[v] != 1 || r.Parent[v] != 0 {
+			t.Fatalf("leaf %d: level %d parent %d", v, r.Level[v], r.Parent[v])
+		}
+	}
+	// Search from a leaf: hub at 1, other leaves at 2.
+	r2, err := Serial(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Level[0] != 1 || r2.Level[17] != 2 {
+		t.Errorf("from leaf: hub level %d, other leaf level %d", r2.Level[0], r2.Level[17])
+	}
+}
+
+func TestSerialDisconnected(t *testing.T) {
+	g := mustBuild(t, 6, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 3, To: 4}})
+	r, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int32{3, 4, 5} {
+		if r.Level[v] != NotVisited || r.Parent[v] != NotVisited {
+			t.Errorf("vertex %d in other component was visited", v)
+		}
+	}
+	if r.VisitedCount != 3 {
+		t.Errorf("VisitedCount = %d, want 3", r.VisitedCount)
+	}
+	if err := Validate(g, r); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSerialIsolatedSource(t *testing.T) {
+	g := mustBuild(t, 3, []graph.Edge{{From: 1, To: 2}})
+	r, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VisitedCount != 1 || r.Level[0] != 0 {
+		t.Error("isolated source traversal wrong")
+	}
+	if r.NumLevels() != 1 {
+		t.Errorf("NumLevels = %d, want 1", r.NumLevels())
+	}
+}
+
+func TestSourceOutOfRange(t *testing.T) {
+	g := pathGraph(t, 3)
+	if _, err := Serial(g, 7); err == nil {
+		t.Error("out-of-range source accepted by Serial")
+	}
+	if _, err := Serial(g, -1); err == nil {
+		t.Error("negative source accepted by Serial")
+	}
+	if _, err := Run(g, 99, Options{}); err == nil {
+		t.Error("out-of-range source accepted by Run")
+	}
+}
+
+// sameTraversal checks two results agree on levels (parents may
+// differ legitimately — any parent one level up is a valid BFS tree).
+func sameTraversal(t *testing.T, name string, want, got *Result) {
+	t.Helper()
+	if len(want.Level) != len(got.Level) {
+		t.Fatalf("%s: level map sizes differ", name)
+	}
+	for v := range want.Level {
+		if want.Level[v] != got.Level[v] {
+			t.Fatalf("%s: Level[%d] = %d, want %d", name, v, got.Level[v], want.Level[v])
+		}
+	}
+	if want.VisitedCount != got.VisitedCount {
+		t.Fatalf("%s: VisitedCount %d, want %d", name, got.VisitedCount, want.VisitedCount)
+	}
+	if want.TraversedEdges != got.TraversedEdges {
+		t.Fatalf("%s: TraversedEdges %d, want %d", name, got.TraversedEdges, want.TraversedEdges)
+	}
+}
+
+func TestKernelsAgreeWithSerial(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"path":  pathGraph(t, 17),
+		"star":  starGraph(t, 33),
+		"rmat9": testRMAT(t, 9, 8, 1),
+		"rmat8": testRMAT(t, 8, 16, 7),
+	}
+	for name, g := range graphs {
+		src := int32(0)
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(int32(v)) > 0 {
+				src = int32(v)
+				break
+			}
+		}
+		want, err := Serial(g, src)
+		if err != nil {
+			t.Fatalf("%s: Serial: %v", name, err)
+		}
+		for _, workers := range []int{1, 4} {
+			td, err := RunTopDown(g, src, workers)
+			if err != nil {
+				t.Fatalf("%s: top-down: %v", name, err)
+			}
+			sameTraversal(t, name+"/topdown", want, td)
+			if err := Validate(g, td); err != nil {
+				t.Errorf("%s: top-down invalid: %v", name, err)
+			}
+
+			bu, err := RunBottomUp(g, src, workers)
+			if err != nil {
+				t.Fatalf("%s: bottom-up: %v", name, err)
+			}
+			sameTraversal(t, name+"/bottomup", want, bu)
+			if err := Validate(g, bu); err != nil {
+				t.Errorf("%s: bottom-up invalid: %v", name, err)
+			}
+
+			for _, mn := range [][2]float64{{1, 1}, {10, 10}, {64, 64}, {300, 300}, {2, 500}} {
+				hy, err := Hybrid(g, src, mn[0], mn[1], workers)
+				if err != nil {
+					t.Fatalf("%s: hybrid(%v): %v", name, mn, err)
+				}
+				sameTraversal(t, name+"/hybrid", want, hy)
+				if err := Validate(g, hy); err != nil {
+					t.Errorf("%s: hybrid(%v) invalid: %v", name, mn, err)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridActuallySwitches(t *testing.T) {
+	g := testRMAT(t, 10, 16, 3)
+	r, err := Hybrid(g, 0, 300, 300, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTD, sawBU bool
+	for _, d := range r.Directions {
+		switch d {
+		case TopDown:
+			sawTD = true
+		case BottomUp:
+			sawBU = true
+		}
+	}
+	if !sawTD || !sawBU {
+		t.Errorf("hybrid with M=N=300 used directions %v; want both", r.Directions)
+	}
+}
+
+func TestMNPolicy(t *testing.T) {
+	info := StepInfo{
+		FrontierVertices: 100, FrontierEdges: 1000,
+		TotalVertices: 10000, TotalEdges: 100000,
+	}
+	// |E|/M = 1000 exactly: >= threshold switches to bottom-up.
+	if d := (MN{M: 100, N: 1}).Choose(info); d != BottomUp {
+		t.Errorf("edge threshold: got %s", d)
+	}
+	// Just under both thresholds: top-down.
+	if d := (MN{M: 99, N: 99}).Choose(info); d != TopDown {
+		t.Errorf("under thresholds: got %s", d)
+	}
+	// Vertex threshold alone triggers.
+	if d := (MN{M: 1, N: 100}).Choose(info); d != BottomUp {
+		t.Errorf("vertex threshold: got %s", d)
+	}
+}
+
+func TestMNValidate(t *testing.T) {
+	if (MN{M: 1, N: 1}).Validate() != nil {
+		t.Error("valid MN rejected")
+	}
+	if (MN{M: 0, N: 1}).Validate() == nil {
+		t.Error("M=0 accepted")
+	}
+	if (MN{M: 1, N: -3}).Validate() == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := Run(pathGraph(t, 3), 0, Options{Policy: MN{}}); err == nil {
+		t.Error("Run accepted zero-value MN policy")
+	}
+}
+
+func TestRunRejectsUnknownDirection(t *testing.T) {
+	g := pathGraph(t, 4)
+	bad := PolicyFunc(func(StepInfo) Direction { return Direction(9) })
+	if _, err := Run(g, 0, Options{Policy: bad}); err == nil {
+		t.Error("unknown direction accepted")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if TopDown.String() != "TD" || BottomUp.String() != "BU" {
+		t.Error("direction strings wrong")
+	}
+	if Direction(5).String() == "" {
+		t.Error("unknown direction has empty string")
+	}
+}
+
+func TestValidateCatchesCorruptedResults(t *testing.T) {
+	g := testRMAT(t, 9, 8, 2)
+	var src int32
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			src = int32(v)
+			break
+		}
+	}
+	r, err := Serial(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, r); err != nil {
+		t.Fatalf("clean result invalid: %v", err)
+	}
+
+	corrupt := func(mutate func(*Result)) error {
+		c := &Result{
+			Source: r.Source,
+			Parent: append([]int32(nil), r.Parent...),
+			Level:  append([]int32(nil), r.Level...),
+		}
+		mutate(c)
+		return Validate(g, c)
+	}
+
+	// Find a visited non-source vertex with level >= 2.
+	var deep int32 = -1
+	for v, l := range r.Level {
+		if l >= 2 {
+			deep = int32(v)
+			break
+		}
+	}
+	if deep < 0 {
+		t.Fatal("test graph too shallow")
+	}
+
+	if corrupt(func(c *Result) { c.Level[deep]++ }) == nil {
+		t.Error("wrong level not caught")
+	}
+	if corrupt(func(c *Result) { c.Parent[deep] = deep }) == nil {
+		t.Error("self-parent cycle not caught")
+	}
+	if corrupt(func(c *Result) { c.Parent[deep] = NotVisited }) == nil {
+		t.Error("parent/level visitedness disagreement not caught")
+	}
+	if corrupt(func(c *Result) { c.Level[r.Source] = 1 }) == nil {
+		t.Error("non-zero source level not caught")
+	}
+	if corrupt(func(c *Result) { c.Parent[r.Source] = NotVisited; c.Level[r.Source] = NotVisited }) == nil {
+		t.Error("unvisited source not caught")
+	}
+	// Mark a visited vertex unvisited entirely: breaks component rule.
+	if corrupt(func(c *Result) { c.Parent[deep] = NotVisited; c.Level[deep] = NotVisited }) == nil {
+		t.Error("hole in visited component not caught")
+	}
+}
+
+func TestValidateCatchesNonTreeEdgeParent(t *testing.T) {
+	// Parent not adjacent to child: levels can still be consistent on
+	// a 4-cycle if we claim the wrong parent.
+	g := mustBuild(t, 4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 0}})
+	r, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices 1 and 3 are both level 1; vertex 2 is level 2 with
+	// parent 1 or 3. Claim a parent that is level-consistent but, for
+	// vertex 1, not adjacent: parent of 1 := 3? (1,3) is not an edge,
+	// but both are level 1 so the level rule can't catch it alone.
+	c := &Result{Source: 0, Parent: append([]int32(nil), r.Parent...), Level: append([]int32(nil), r.Level...)}
+	c.Parent[2] = 0 // (0,2) is not an edge; levels 0 -> 2 also break
+	if Validate(g, c) == nil {
+		t.Error("non-edge parent not caught")
+	}
+}
+
+func TestResultCounters(t *testing.T) {
+	g := testRMAT(t, 9, 8, 5)
+	r, err := Serial(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visited, traversed int64
+	for v, l := range r.Level {
+		if l != NotVisited {
+			visited++
+			traversed += g.Degree(int32(v))
+		}
+	}
+	if r.VisitedCount != visited || r.TraversedEdges != traversed {
+		t.Errorf("counters: visited %d/%d traversed %d/%d",
+			r.VisitedCount, visited, r.TraversedEdges, traversed)
+	}
+}
+
+func TestBottomUpScansMatchKernel(t *testing.T) {
+	// The kernels report actual scan counts; the serial and parallel
+	// bottom-up kernels must agree exactly (same early-exit order).
+	g := testRMAT(t, 9, 16, 11)
+	r1, err := RunBottomUp(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunBottomUp(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.StepScans) != len(r4.StepScans) {
+		t.Fatalf("step counts differ: %d vs %d", len(r1.StepScans), len(r4.StepScans))
+	}
+	for i := range r1.StepScans {
+		if r1.StepScans[i] != r4.StepScans[i] {
+			t.Errorf("step %d scans: serial %d vs parallel %d", i+1, r1.StepScans[i], r4.StepScans[i])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// buGrain is the vertex block size for bottom-up workers. Bottom-up
+// scans the whole vertex range, so blocks can be larger than top-down's.
+const buGrain = 4096
+
+// bottomUpLevel expands one level in the bottom-up direction: every
+// unvisited vertex scans its neighbors for a member of the current
+// frontier and adopts the first hit as parent (paper Algorithm 2,
+// lines 7-12, including the early-exit "break"). front is the current
+// frontier as a bitmap; next receives the new frontier (it must arrive
+// cleared). Returns the number of vertices discovered and the number
+// of edges scanned — the quantity the paper bounds by |E|un and the
+// simulator prices.
+func bottomUpLevel(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap, level int32, workers int) (found, scans int64) {
+	n := g.NumVertices()
+	if resolveWorkers(workers, (n+buGrain-1)/buGrain) == 1 {
+		return bottomUpLevelSerial(g, r, visited, front, next, level)
+	}
+	var foundTotal, scanTotal atomic.Int64
+	parallelGrains(n, buGrain, workers, func(_, start, end int) {
+		var localFound, localScans int64
+		for v := start; v < end; v++ {
+			if visited.Get(v) {
+				continue
+			}
+			for _, u := range g.Neighbors(int32(v)) {
+				localScans++
+				if front.Get(int(u)) {
+					r.Parent[v] = u
+					r.Level[v] = level
+					next.SetAtomic(v)
+					localFound++
+					break
+				}
+			}
+		}
+		foundTotal.Add(localFound)
+		scanTotal.Add(localScans)
+	})
+	return foundTotal.Load(), scanTotal.Load()
+}
+
+func bottomUpLevelSerial(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap, level int32) (found, scans int64) {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if visited.Get(v) {
+			continue
+		}
+		for _, u := range g.Neighbors(int32(v)) {
+			scans++
+			if front.Get(int(u)) {
+				r.Parent[v] = u
+				r.Level[v] = level
+				next.Set(v)
+				found++
+				break
+			}
+		}
+	}
+	return found, scans
+}
+
+// RunBottomUp runs a pure bottom-up BFS (the paper's GPUBU/CPUBU
+// baseline). workers <= 0 uses GOMAXPROCS.
+func RunBottomUp(g *graph.CSR, source int32, workers int) (*Result, error) {
+	return Run(g, source, Options{Policy: AlwaysBottomUp, Workers: workers})
+}

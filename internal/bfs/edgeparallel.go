@@ -1,0 +1,102 @@
+package bfs
+
+import (
+	"sort"
+
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// Edge-parallel top-down kernel. The vertex-parallel kernel assigns a
+// frontier vertex per worker grain, so one hub's adjacency list is
+// walked serially — the critical path the cost model charges GPUs for
+// (Arch.ThreadRate) and the reason the paper's GPU suffers on hub
+// levels. This kernel parallelizes over the frontier's *edge space*
+// instead: workers claim fixed-size ranges of the concatenated
+// adjacency lists, locating the owning vertices by binary search over
+// a degree prefix sum. Hub lists get split across workers.
+
+// epGrain is the edge-range grain size per claim.
+const epGrain = 2048
+
+// topDownLevelEdgeParallel expands one level top-down with
+// edge-parallel work division. Semantics match topDownLevel.
+func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32, workers int) []int32 {
+	// Degree prefix sum over the frontier.
+	prefix := make([]int64, len(queue)+1)
+	for i, v := range queue {
+		prefix[i+1] = prefix[i] + g.Degree(v)
+	}
+	totalEdges := prefix[len(queue)]
+	if totalEdges == 0 {
+		return nil
+	}
+	nworkers := resolveWorkers(workers, int(totalEdges/epGrain)+1)
+	if nworkers == 1 {
+		return topDownLevelSerial(g, r, visited, queue, level)
+	}
+
+	locals := make([][]int32, nworkers)
+	parallelGrains(int(totalEdges), epGrain, nworkers, func(worker, start, end int) {
+		local := locals[worker]
+		// First frontier vertex whose edge range intersects [start, end).
+		qi := sort.Search(len(queue), func(i int) bool { return prefix[i+1] > int64(start) })
+		for pos := int64(start); pos < int64(end) && qi < len(queue); {
+			u := queue[qi]
+			adjStart := g.Offsets[u] + (pos - prefix[qi])
+			adjEnd := g.Offsets[u] + (min64(int64(end), prefix[qi+1]) - prefix[qi])
+			for _, v := range g.Adj[adjStart:adjEnd] {
+				if visited.GetAtomic(int(v)) {
+					continue
+				}
+				if visited.SetAtomic(int(v)) {
+					r.Parent[v] = u
+					r.Level[v] = level
+					local = append(local, v)
+				}
+			}
+			pos = prefix[qi+1]
+			qi++
+		}
+		locals[worker] = local
+	})
+
+	var total int
+	for _, l := range locals {
+		total += len(l)
+	}
+	next := make([]int32, 0, total)
+	for _, l := range locals {
+		next = append(next, l...)
+	}
+	return next
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunTopDownEdgeParallel runs a pure top-down BFS with the
+// edge-parallel kernel.
+func RunTopDownEdgeParallel(g *graph.CSR, source int32, workers int) (*Result, error) {
+	if err := checkSource(g, source); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	r := newResult(g, source)
+	visited := bitmap.New(n)
+	visited.Set(int(source))
+	queue := []int32{source}
+	level := int32(1)
+	for len(queue) > 0 {
+		queue = topDownLevelEdgeParallel(g, r, visited, queue, level, workers)
+		r.Directions = append(r.Directions, TopDown)
+		r.StepScans = append(r.StepScans, 0)
+		level++
+	}
+	r.finish(g)
+	return r, nil
+}

@@ -1,0 +1,111 @@
+package bfs
+
+import (
+	"testing"
+)
+
+func TestAlphaBetaDefaults(t *testing.T) {
+	p := NewAlphaBeta(0, 0)
+	if p.Alpha != 14 || p.Beta != 24 {
+		t.Errorf("defaults = (%g, %g), want Beamer's (14, 24)", p.Alpha, p.Beta)
+	}
+	if p.Validate() != nil {
+		t.Error("default policy invalid")
+	}
+	bad := &AlphaBeta{Alpha: -1, Beta: 24}
+	if bad.Validate() == nil {
+		t.Error("negative alpha accepted")
+	}
+}
+
+func TestAlphaBetaPhases(t *testing.T) {
+	p := NewAlphaBeta(14, 24)
+	small := StepInfo{
+		Step: 1, FrontierVertices: 1, FrontierEdges: 10,
+		UnvisitedVertices: 9999, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := p.Choose(small); d != TopDown {
+		t.Fatalf("small frontier: %s, want TD", d)
+	}
+	// Frontier edge work overtakes unexplored/alpha: m_f = 50000,
+	// m_u ~= 160000*0.5 = 80000, 80000/14 ~= 5714 < 50000.
+	big := StepInfo{
+		Step: 3, FrontierVertices: 3000, FrontierEdges: 50000,
+		UnvisitedVertices: 5000, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := p.Choose(big); d != BottomUp {
+		t.Fatalf("big frontier: %s, want BU", d)
+	}
+	// Still bottom-up while the frontier stays above |V|/beta.
+	mid := StepInfo{
+		Step: 4, FrontierVertices: 1000, FrontierEdges: 9000,
+		UnvisitedVertices: 2000, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := p.Choose(mid); d != BottomUp {
+		t.Fatalf("mid frontier in BU phase: %s, want BU", d)
+	}
+	// Shrunk below |V|/beta = 416: back to top-down.
+	tail := StepInfo{
+		Step: 5, FrontierVertices: 100, FrontierEdges: 900,
+		UnvisitedVertices: 500, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := p.Choose(tail); d != TopDown {
+		t.Fatalf("tail frontier: %s, want TD", d)
+	}
+}
+
+func TestAlphaBetaTraversalCorrect(t *testing.T) {
+	g := testRMAT(t, 10, 16, 3)
+	want, err := Serial(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, 0, Options{Policy: NewAlphaBeta(0, 0), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTraversal(t, "alphabeta", want, got)
+	if err := Validate(g, got); err != nil {
+		t.Errorf("alpha/beta traversal invalid: %v", err)
+	}
+	// It must actually have used both directions on an R-MAT graph.
+	var td, bu bool
+	for _, d := range got.Directions {
+		td = td || d == TopDown
+		bu = bu || d == BottomUp
+	}
+	if !td || !bu {
+		t.Errorf("alpha/beta never switched: %v", got.Directions)
+	}
+}
+
+func TestHongHybridNeverSwitchesBack(t *testing.T) {
+	p := NewHongHybrid()
+	big := StepInfo{FrontierVertices: 500, TotalVertices: 10000}
+	small := StepInfo{FrontierVertices: 1, TotalVertices: 10000}
+	if d := p.Choose(small); d != TopDown {
+		t.Fatalf("before threshold: %s", d)
+	}
+	if d := p.Choose(big); d != BottomUp {
+		t.Fatalf("at threshold: %s", d)
+	}
+	if d := p.Choose(small); d != BottomUp {
+		t.Fatalf("after switch with small frontier: %s, want BU (one-way switch)", d)
+	}
+}
+
+func TestHongHybridTraversalCorrect(t *testing.T) {
+	g := testRMAT(t, 10, 8, 5)
+	want, err := Serial(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, 1, Options{Policy: NewHongHybrid(), Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTraversal(t, "hong", want, got)
+	if err := Validate(g, got); err != nil {
+		t.Errorf("hong traversal invalid: %v", err)
+	}
+}

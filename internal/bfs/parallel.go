@@ -1,0 +1,61 @@
+package bfs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps the user-facing worker count (0 = automatic) to
+// an effective one, never exceeding the amount of work available.
+func resolveWorkers(requested, workItems int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > workItems {
+		w = workItems
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelGrains runs fn over [0, n) split into grain-sized blocks
+// claimed dynamically by workers — dynamic scheduling because R-MAT
+// frontiers have wildly skewed per-vertex work (a handful of hub
+// vertices own most edges).
+func parallelGrains(n, grain, workers int, fn func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers = resolveWorkers(workers, (n+grain-1)/grain)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(grain))) - grain
+				if start >= n {
+					return
+				}
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				fn(worker, start, end)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package bfs
+
+import (
+	"errors"
+	"fmt"
+
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// StepInfo is what a switching policy sees before each expansion step:
+// the quantities of the paper's Fig. 4 plus the graph totals they are
+// compared against.
+type StepInfo struct {
+	// Step is the paper's 1-based level number: step 1 expands the
+	// frontier {source}.
+	Step int
+	// FrontierVertices is |V|cq, the current-queue vertex count.
+	FrontierVertices int64
+	// FrontierEdges is |E|cq, the sum of frontier vertex degrees.
+	FrontierEdges int64
+	// UnvisitedVertices counts vertices without a level yet.
+	UnvisitedVertices int64
+	// TotalVertices and TotalEdges are |V| and |E| (directed entries).
+	TotalVertices int64
+	TotalEdges    int64
+}
+
+// Policy selects the direction for each expansion step.
+type Policy interface {
+	Choose(StepInfo) Direction
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(StepInfo) Direction
+
+// Choose implements Policy.
+func (f PolicyFunc) Choose(s StepInfo) Direction { return f(s) }
+
+// AlwaysTopDown and AlwaysBottomUp are the single-direction baselines
+// (the paper's *TD and *BU columns).
+var (
+	AlwaysTopDown  Policy = PolicyFunc(func(StepInfo) Direction { return TopDown })
+	AlwaysBottomUp Policy = PolicyFunc(func(StepInfo) Direction { return BottomUp })
+)
+
+// MN is the paper's switching rule (Fig. 4): run bottom-up when
+// |E|cq >= |E|/M or |V|cq >= |V|/N, top-down otherwise. Larger M or N
+// switches to bottom-up earlier. Both must be positive.
+type MN struct {
+	M, N float64
+}
+
+// Choose implements Policy.
+func (p MN) Choose(s StepInfo) Direction {
+	if float64(s.FrontierEdges) >= float64(s.TotalEdges)/p.M ||
+		float64(s.FrontierVertices) >= float64(s.TotalVertices)/p.N {
+		return BottomUp
+	}
+	return TopDown
+}
+
+// Validate reports whether the thresholds are usable.
+func (p MN) Validate() error {
+	if p.M <= 0 || p.N <= 0 {
+		return fmt.Errorf("bfs: MN policy requires positive M and N, got (%g, %g)", p.M, p.N)
+	}
+	return nil
+}
+
+// Options configure a traversal.
+type Options struct {
+	// Policy picks the direction per step. nil means AlwaysTopDown.
+	Policy Policy
+	// Workers is the parallelism level; 0 means GOMAXPROCS, 1 forces
+	// the serial kernels.
+	Workers int
+}
+
+// Run executes a level-synchronized BFS from source, choosing the
+// direction of each step with opts.Policy and switching the frontier
+// representation (queue for top-down, bitmap for bottom-up) as needed.
+func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
+	if err := checkSource(g, source); err != nil {
+		return nil, err
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = AlwaysTopDown
+	}
+	if mn, ok := policy.(MN); ok {
+		if err := mn.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	n := g.NumVertices()
+	r := newResult(g, source)
+	visited := bitmap.New(n)
+	visited.Set(int(source))
+
+	queue := []int32{source} // valid when queueValid
+	front := bitmap.New(n)   // valid when !queueValid
+	next := bitmap.New(n)    // bottom-up scratch
+	queueValid := true
+	frontierVertices := int64(1)
+	unvisited := int64(n) - 1
+	level := int32(1) // distance assigned by the upcoming step
+	totalEdges := g.NumEdges()
+
+	for frontierVertices > 0 {
+		info := StepInfo{
+			Step:              int(level),
+			FrontierVertices:  frontierVertices,
+			FrontierEdges:     frontierEdges(g, queue, front, queueValid),
+			UnvisitedVertices: unvisited,
+			TotalVertices:     int64(n),
+			TotalEdges:        totalEdges,
+		}
+		dir := policy.Choose(info)
+
+		var foundCount, scanCount int64
+		switch dir {
+		case TopDown:
+			if !queueValid {
+				queue = front.AppendSet(queue[:0])
+				queueValid = true
+			}
+			queue = topDownLevel(g, r, visited, queue, level, opts.Workers)
+			foundCount = int64(len(queue))
+		case BottomUp:
+			if queueValid {
+				front.Reset()
+				for _, v := range queue {
+					front.Set(int(v))
+				}
+				queueValid = false
+			}
+			next.Reset()
+			foundCount, scanCount = bottomUpLevel(g, r, visited, front, next, level, opts.Workers)
+			visited.Or(next)
+			front, next = next, front
+		default:
+			return nil, errors.New("bfs: policy returned unknown direction")
+		}
+
+		r.Directions = append(r.Directions, dir)
+		r.StepScans = append(r.StepScans, scanCount)
+		frontierVertices = foundCount
+		unvisited -= foundCount
+		level++
+	}
+
+	r.finish(g)
+	return r, nil
+}
+
+// frontierEdges computes |E|cq for the active representation.
+func frontierEdges(g *graph.CSR, queue []int32, front *bitmap.Bitmap, queueValid bool) int64 {
+	var sum int64
+	if queueValid {
+		for _, v := range queue {
+			sum += g.Degree(v)
+		}
+		return sum
+	}
+	front.Range(func(v int) { sum += g.Degree(int32(v)) })
+	return sum
+}
+
+// Hybrid runs the direction-optimizing combination with the paper's
+// (M, N) switching rule.
+func Hybrid(g *graph.CSR, source int32, m, n float64, workers int) (*Result, error) {
+	return Run(g, source, Options{Policy: MN{M: m, N: n}, Workers: workers})
+}

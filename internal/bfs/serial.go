@@ -1,0 +1,31 @@
+package bfs
+
+import "crossbfs/internal/graph"
+
+// Serial runs a textbook queue-based BFS from source. It is the
+// correctness reference for every other kernel and the model of the
+// "serial version" the paper uses to explain the CPU/MIC gap (§V-C).
+func Serial(g *graph.CSR, source int32) (*Result, error) {
+	if err := checkSource(g, source); err != nil {
+		return nil, err
+	}
+	r := newResult(g, source)
+	cq := []int32{source}
+	for len(cq) > 0 {
+		var nq []int32
+		for _, u := range cq {
+			for _, v := range g.Neighbors(u) {
+				if r.Parent[v] == NotVisited {
+					r.Parent[v] = u
+					r.Level[v] = r.Level[u] + 1
+					nq = append(nq, v)
+				}
+			}
+		}
+		r.Directions = append(r.Directions, TopDown)
+		r.StepScans = append(r.StepScans, 0)
+		cq = nq
+	}
+	r.finish(g)
+	return r, nil
+}

@@ -1,0 +1,71 @@
+package bfs
+
+import (
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// tdGrain is the frontier block size claimed by one worker at a time.
+// Small enough that a block holding a hub vertex does not serialize the
+// level, large enough to amortize the claim.
+const tdGrain = 256
+
+// topDownLevel expands one level in the top-down direction: every
+// frontier vertex offers itself as parent to its unvisited neighbors
+// (paper Algorithm 1, lines 7-12). queue holds the current frontier,
+// level is the distance to assign to newly found vertices. visited is
+// the claim bitmap (bit set <=> vertex has a level). Returns the next
+// frontier.
+func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32, workers int) []int32 {
+	if workers == 1 || resolveWorkers(workers, len(queue)) == 1 {
+		return topDownLevelSerial(g, r, visited, queue, level)
+	}
+	nworkers := resolveWorkers(workers, len(queue))
+	locals := make([][]int32, nworkers)
+	parallelGrains(len(queue), tdGrain, nworkers, func(worker, start, end int) {
+		local := locals[worker]
+		for _, u := range queue[start:end] {
+			for _, v := range g.Neighbors(u) {
+				if visited.GetAtomic(int(v)) {
+					continue
+				}
+				if visited.SetAtomic(int(v)) {
+					r.Parent[v] = u
+					r.Level[v] = level
+					local = append(local, v)
+				}
+			}
+		}
+		locals[worker] = local
+	})
+	var total int
+	for _, l := range locals {
+		total += len(l)
+	}
+	next := make([]int32, 0, total)
+	for _, l := range locals {
+		next = append(next, l...)
+	}
+	return next
+}
+
+func topDownLevelSerial(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32) []int32 {
+	var next []int32
+	for _, u := range queue {
+		for _, v := range g.Neighbors(u) {
+			if !visited.Get(int(v)) {
+				visited.Set(int(v))
+				r.Parent[v] = u
+				r.Level[v] = level
+				next = append(next, v)
+			}
+		}
+	}
+	return next
+}
+
+// RunTopDown runs a pure top-down BFS (the paper's GPUTD/CPUTD
+// baseline algorithm). workers <= 0 uses GOMAXPROCS.
+func RunTopDown(g *graph.CSR, source int32, workers int) (*Result, error) {
+	return Run(g, source, Options{Policy: AlwaysTopDown, Workers: workers})
+}

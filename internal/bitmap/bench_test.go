@@ -1,0 +1,70 @@
+package bitmap
+
+import "testing"
+
+const benchBits = 1 << 20
+
+func BenchmarkSet(b *testing.B) {
+	bm := New(benchBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Set(i & (benchBits - 1))
+	}
+}
+
+func BenchmarkSetAtomic(b *testing.B) {
+	bm := New(benchBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.SetAtomic(i & (benchBits - 1))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	bm := New(benchBits)
+	for i := 0; i < benchBits; i += 3 {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = bm.Get(i & (benchBits - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkCount(b *testing.B) {
+	bm := New(benchBits)
+	for i := 0; i < benchBits; i += 7 {
+		bm.Set(i)
+	}
+	b.SetBytes(benchBits / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Count()
+	}
+}
+
+func BenchmarkAppendSet(b *testing.B) {
+	bm := New(benchBits)
+	for i := 0; i < benchBits; i += 64 {
+		bm.Set(i)
+	}
+	buf := make([]int32, 0, benchBits/64+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = bm.AppendSet(buf[:0])
+	}
+}
+
+func BenchmarkOr(b *testing.B) {
+	x, y := New(benchBits), New(benchBits)
+	for i := 0; i < benchBits; i += 5 {
+		y.Set(i)
+	}
+	b.SetBytes(benchBits / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Or(y)
+	}
+}

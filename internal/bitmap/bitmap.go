@@ -1,0 +1,154 @@
+// Package bitmap implements a dense bitset over vertex IDs with both
+// plain and atomic mutation paths.
+//
+// Direction-optimizing BFS represents the frontier two ways: top-down
+// keeps an explicit vertex queue, bottom-up keeps a bitmap so that a
+// candidate child can test "is this neighbor in the current frontier?"
+// in O(1) (paper §IV: "use bitmap for the CQ"). The atomic path lets
+// parallel top-down workers claim vertices without locks.
+package bitmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bitmap is a fixed-size bitset over [0, Len()). The zero value is an
+// empty bitmap of length 0; use New for a sized one.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitmap able to hold n bits, all clear. n must be >= 0.
+func New(n int) *Bitmap {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Bitmap{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// Len returns the number of bits the bitmap holds.
+func (b *Bitmap) Len() int { return b.n }
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i. Not safe for concurrent use with other writers; use
+// SetAtomic in parallel sections.
+func (b *Bitmap) Set(i int) {
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetAtomic sets bit i with a CAS loop and reports whether this call
+// changed it (i.e. the caller won the race to claim i).
+func (b *Bitmap) SetAtomic(i int) bool {
+	addr := &b.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// GetAtomic reports whether bit i is set, with an atomic load.
+func (b *Bitmap) GetAtomic(i int) bool {
+	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CopyFrom makes b an exact copy of src. The bitmaps must have the
+// same length.
+func (b *Bitmap) CopyFrom(src *Bitmap) {
+	if b.n != src.n {
+		panic("bitmap: CopyFrom length mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// Or sets b to the bitwise union of b and src. The bitmaps must have
+// the same length.
+func (b *Bitmap) Or(src *Bitmap) {
+	if b.n != src.n {
+		panic("bitmap: Or length mismatch")
+	}
+	for i, w := range src.words {
+		b.words[i] |= w
+	}
+}
+
+// Range calls fn for every set bit in increasing order.
+func (b *Bitmap) Range(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*wordBits + bit)
+			w &= w - 1
+		}
+	}
+}
+
+// AppendSet appends the indices of all set bits to dst and returns it.
+func (b *Bitmap) AppendSet(dst []int32) []int32 {
+	for wi, w := range b.words {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, base+int32(bit))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Words exposes the backing words for size accounting (e.g. modelling
+// a frontier transfer across a PCIe link). The slice must not be
+// mutated.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// SizeBytes returns the in-memory size of the bit data in bytes, which
+// is also the transfer size when the bitmap is shipped to another
+// device.
+func (b *Bitmap) SizeBytes() int64 { return int64(len(b.words) * 8) }

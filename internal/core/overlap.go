@@ -1,0 +1,82 @@
+package core
+
+import (
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+)
+
+// Lazy-transfer variant of the simulator. The blocking part of a
+// cross-architecture handoff is only the state the next kernel reads
+// before it can start: the frontier and visited bitmaps. The bulk —
+// predecessor/level entries discovered on the source device — is not
+// read by subsequent kernels at all (only claimed bits are), so a real
+// implementation can stream it asynchronously behind the following
+// kernels and absorb its cost into otherwise idle link time.
+//
+// SimulateLazy prices exactly that: bitmap bytes block, predecessor
+// bytes overlap with subsequent kernel time and only surface as a
+// stall if a level finishes before the stream drains. This quantifies
+// how much of the naive Simulate's transfer penalty a smarter runtime
+// could hide (BenchmarkAblationLazyTransfers).
+func SimulateLazy(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
+	stepper := plan.Begin()
+	t := &Timing{
+		Plan:         plan.Name() + "+lazy",
+		Steps:        make([]StepTiming, 0, len(tr.Steps)),
+		EdgesVisited: tr.EdgesVisited,
+	}
+
+	prevArch := ""
+	discoveredSinceSwitch := int64(1)
+	bitmapBytes := (tr.NumVertices + 7) / 8
+	pendingAsync := 0.0 // seconds of background streaming still in flight
+
+	for _, s := range tr.Steps {
+		info := bfs.StepInfo{
+			Step:              s.Step,
+			FrontierVertices:  s.FrontierVertices,
+			FrontierEdges:     s.FrontierEdges,
+			UnvisitedVertices: s.UnvisitedVertices,
+			TotalVertices:     tr.NumVertices,
+			TotalEdges:        tr.NumEdges,
+		}
+		pl := stepper.Place(info)
+
+		st := StepTiming{
+			Step:     s.Step,
+			ArchName: pl.Arch.Name,
+			Kind:     pl.Arch.Kind,
+			Dir:      pl.Dir,
+			Kernel:   pl.Arch.StepTime(pl.Dir, s),
+		}
+		if prevArch != "" && prevArch != pl.Arch.Name {
+			// The in-flight stream must drain before a new transfer
+			// can start on the same link.
+			st.Transfer = pendingAsync
+			pendingAsync = 0
+			// Blocking: bitmaps. Async: predecessor entries.
+			st.Transfer += link.TransferTime(2 * bitmapBytes)
+			pendingAsync = link.TransferTime(8 * discoveredSinceSwitch)
+			discoveredSinceSwitch = 0
+		}
+		prevArch = pl.Arch.Name
+		discoveredSinceSwitch += s.Discovered
+
+		// Background streaming drains while the kernel runs.
+		if pendingAsync > 0 {
+			pendingAsync -= st.Kernel
+			if pendingAsync < 0 {
+				pendingAsync = 0
+			}
+		}
+
+		t.Steps = append(t.Steps, st)
+		t.Total += st.Kernel + st.Transfer
+		t.Transfers += st.Transfer
+	}
+	// A stream still in flight at the end must drain before results
+	// are usable.
+	t.Total += pendingAsync
+	t.Transfers += pendingAsync
+	return t
+}

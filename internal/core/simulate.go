@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/graph"
+)
+
+// StepTiming is the priced outcome of one expansion step — one row of
+// the paper's Table IV.
+type StepTiming struct {
+	Step     int
+	ArchName string
+	Kind     archsim.Kind
+	Dir      bfs.Direction
+	// Kernel is the simulated seconds spent expanding the level.
+	Kernel float64
+	// Transfer is the simulated seconds moving state onto this step's
+	// device (nonzero only when the previous step ran elsewhere).
+	Transfer float64
+}
+
+// Timing is the priced outcome of a whole traversal.
+type Timing struct {
+	Plan         string
+	Steps        []StepTiming
+	Total        float64 // seconds, kernels + transfers
+	Transfers    float64 // seconds spent on the link
+	EdgesVisited int64   // adjacency entries of the reachable component
+}
+
+// TEPS returns traversed edges per second, the Graph 500 metric
+// (Table I). Each undirected edge of the reachable component is
+// counted once, per the Graph 500 convention.
+func (t *Timing) TEPS() float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return float64(t.EdgesVisited) / 2 / t.Total
+}
+
+// GTEPS returns TEPS in billions (the unit of the paper's Table VI).
+func (t *Timing) GTEPS() float64 { return t.TEPS() / 1e9 }
+
+// Simulate prices a plan against a traversal trace. Because level
+// sets are direction-independent, this replays any plan without
+// re-traversing the graph: each step charges the placed device for its
+// direction's work, plus a link transfer whenever the placement moves
+// between devices.
+//
+// The transfer ships the frontier bitmap, the visited bitmap and the
+// predecessor/level entries discovered since the last time the target
+// device held the traversal — so a late (mistuned) handoff pays for
+// everything discovered so far, which is the mechanism behind the
+// paper's 695x best-to-worst spread for cross-architecture switching.
+func Simulate(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
+	stepper := plan.Begin()
+	t := &Timing{
+		Plan:         plan.Name(),
+		Steps:        make([]StepTiming, 0, len(tr.Steps)),
+		EdgesVisited: tr.EdgesVisited,
+	}
+
+	prevArch := ""
+	discoveredSinceSwitch := int64(1) // the source itself
+	bitmapBytes := (tr.NumVertices + 7) / 8
+
+	for _, s := range tr.Steps {
+		info := bfs.StepInfo{
+			Step:              s.Step,
+			FrontierVertices:  s.FrontierVertices,
+			FrontierEdges:     s.FrontierEdges,
+			UnvisitedVertices: s.UnvisitedVertices,
+			TotalVertices:     tr.NumVertices,
+			TotalEdges:        tr.NumEdges,
+		}
+		pl := stepper.Place(info)
+
+		st := StepTiming{
+			Step:     s.Step,
+			ArchName: pl.Arch.Name,
+			Kind:     pl.Arch.Kind,
+			Dir:      pl.Dir,
+			Kernel:   pl.Arch.StepTime(pl.Dir, s),
+		}
+		if prevArch != "" && prevArch != pl.Arch.Name {
+			st.Transfer = link.TransferTime(2*bitmapBytes + 8*discoveredSinceSwitch)
+			discoveredSinceSwitch = 0
+		}
+		prevArch = pl.Arch.Name
+		discoveredSinceSwitch += s.Discovered
+
+		t.Steps = append(t.Steps, st)
+		t.Total += st.Kernel + st.Transfer
+		t.Transfers += st.Transfer
+	}
+	return t
+}
+
+// Execute runs a plan for real: the decisions drive actual BFS kernels
+// on the host (producing a correct, validated predecessor/level map)
+// while the simulator prices each step. Returns the traversal result,
+// its trace, and the priced timing.
+func Execute(g *graph.CSR, source int32, plan Plan, link archsim.Link, workers int) (*bfs.Result, *bfs.Trace, *Timing, error) {
+	stepper := plan.Begin()
+	policy := bfs.PolicyFunc(func(s bfs.StepInfo) bfs.Direction {
+		return stepper.Place(s).Dir
+	})
+	res, err := bfs.Run(g, source, bfs.Options{Policy: policy, Workers: workers})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: executing plan %s: %w", plan.Name(), err)
+	}
+	tr, err := bfs.ComputeTrace(g, res)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: tracing plan %s: %w", plan.Name(), err)
+	}
+	timing := Simulate(tr, plan, link)
+	// The replay must agree with what actually ran; a mismatch means a
+	// stateful plan behaved non-deterministically.
+	for i, st := range timing.Steps {
+		if res.Directions[i] != st.Dir {
+			return nil, nil, nil, fmt.Errorf("core: plan %s replay diverged at step %d (%s vs %s)",
+				plan.Name(), i+1, res.Directions[i], st.Dir)
+		}
+	}
+	return res, tr, timing, nil
+}

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/rmat"
+)
+
+// StepByStep is the Table IV reproduction: per-level times for every
+// approach on one graph, each combination using its own tuned
+// switching point (the paper's hybrid-oracle treatment).
+type StepByStep struct {
+	GraphVertices int
+	GraphEdges    int64
+	Timings       []*core.Timing // one per approach, Table IV column order
+}
+
+// StepByStepOptimization drives Table IV. Column order follows the
+// paper: GPUTD, GPUBU, GPUCB, CPUTD, CPUBU, CPUCB, CPUTD+GPUBU,
+// CPUTD+GPUCB.
+func StepByStepOptimization(cfg Config) (*StepByStep, error) {
+	cfg.setDefaults()
+	g, tr, _, err := cfg.workload()
+	if err != nil {
+		return nil, err
+	}
+	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
+
+	gpuCB, _, err := tunedCombination(tr, gpu, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	cpuCB, _, err := tunedCombination(tr, cpu, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	cross, err := tunedCross(tr, cpu, gpu, cfg.Link)
+	if err != nil {
+		return nil, err
+	}
+	crossBU := core.CrossTDBU{Host: cpu, Coprocessor: gpu, M1: cross.M1, N1: cross.N1}
+
+	plans := []core.Plan{
+		core.FixedDirection(gpu, bfs.TopDown),
+		core.FixedDirection(gpu, bfs.BottomUp),
+		gpuCB,
+		core.FixedDirection(cpu, bfs.TopDown),
+		core.FixedDirection(cpu, bfs.BottomUp),
+		cpuCB,
+		crossBU,
+		cross,
+	}
+	out := &StepByStep{GraphVertices: g.NumVertices(), GraphEdges: g.NumEdges()}
+	for _, p := range plans {
+		out.Timings = append(out.Timings, core.Simulate(tr, p, cfg.Link))
+	}
+	return out, nil
+}
+
+// CrossSpeedupRow is one column of Table V: the tuned cross-
+// architecture combination's speedup over the GPU top-down baseline
+// for one graph size.
+type CrossSpeedupRow struct {
+	Scale      int
+	EdgeFactor int
+	Vertices   int
+	Edges      int64
+	Speedup    float64 // CPUTD+GPUCB over GPUTD
+}
+
+// CrossSpeedups drives Table V over a (|V|, |E|) grid. The paper's
+// grid is 2M/4M/8M vertices with 32M-256M edges; the default here is
+// the same grid shifted down 5 scales.
+func CrossSpeedups(cfg Config, pairs [][2]int) ([]CrossSpeedupRow, error) {
+	cfg.setDefaults()
+	if len(pairs) == 0 {
+		// (scale, edgefactor): mirrors Table V's |V| x |E| ladder,
+		// anchored on the configured scale so -scale is honored.
+		s := cfg.Scale
+		pairs = [][2]int{{s - 1, 16}, {s - 1, 32}, {s - 1, 64}, {s, 16}, {s, 32}, {s, 64}, {s + 1, 16}}
+	}
+	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
+	var rows []CrossSpeedupRow
+	for _, pe := range pairs {
+		p := rmat.DefaultParams(pe[0], pe[1])
+		p.Seed = cfg.Seed
+		g, err := rmat.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := traceFromSampledRoot(g, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cross, err := tunedCross(tr, cpu, gpu, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		baseline := core.Simulate(tr, core.FixedDirection(gpu, bfs.TopDown), cfg.Link)
+		crossT := core.Simulate(tr, cross, cfg.Link)
+		rows = append(rows, CrossSpeedupRow{
+			Scale: pe[0], EdgeFactor: pe[1],
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			Speedup: baseline.Total / crossT.Total,
+		})
+	}
+	return rows, nil
+}
+
+// CombinationRow is one graph's group of bars in Fig. 9: the four
+// combinations' performance and the cross-architecture speedup over
+// the MIC combination (the number printed on the paper's bars).
+type CombinationRow struct {
+	Label                string
+	MIC, CPU, GPU, Cross float64 // GTEPS
+	SpeedupOverMIC       float64
+	SpeedupOverCPU       float64
+	SpeedupOverGPU       float64
+}
+
+// CombinationComparison drives Fig. 9 over a sweep of graphs.
+func CombinationComparison(cfg Config, pairs [][2]int) ([]CombinationRow, error) {
+	cfg.setDefaults()
+	if len(pairs) == 0 {
+		// Anchored on the configured scale so -scale is honored.
+		s := cfg.Scale
+		pairs = [][2]int{{s - 1, 16}, {s - 1, 32}, {s, 8}, {s, 16}, {s, 32}, {s + 1, 8}, {s + 1, 16}}
+	}
+	cpu, gpu, mic := archsim.SandyBridge(), archsim.KeplerK20x(), archsim.KnightsCorner()
+	var rows []CombinationRow
+	for _, pe := range pairs {
+		p := rmat.DefaultParams(pe[0], pe[1])
+		p.Seed = cfg.Seed
+		g, err := rmat.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := traceFromSampledRoot(g, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		micCB, _, err := tunedCombination(tr, mic, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		cpuCB, _, err := tunedCombination(tr, cpu, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		gpuCB, _, err := tunedCombination(tr, gpu, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		cross, err := tunedCross(tr, cpu, gpu, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		micT := core.Simulate(tr, micCB, cfg.Link)
+		cpuT := core.Simulate(tr, cpuCB, cfg.Link)
+		gpuT := core.Simulate(tr, gpuCB, cfg.Link)
+		crossT := core.Simulate(tr, cross, cfg.Link)
+		rows = append(rows, CombinationRow{
+			Label: fmt.Sprintf("SCALE=%d ef=%d", pe[0], pe[1]),
+			MIC:   micT.GTEPS(), CPU: cpuT.GTEPS(), GPU: gpuT.GTEPS(), Cross: crossT.GTEPS(),
+			SpeedupOverMIC: micT.Total / crossT.Total,
+			SpeedupOverCPU: cpuT.Total / crossT.Total,
+			SpeedupOverGPU: gpuT.Total / crossT.Total,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for the figure-shaped experiments, so the series can be
+// plotted directly (one row per point, stable headers). The text
+// renderers remain the human-facing output.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FrontierProfilesCSV emits Figs. 1-2 data: scale, level, |V|cq, |E|cq.
+func FrontierProfilesCSV(w io.Writer, profiles []FrontierProfile) error {
+	var rows [][]string
+	for _, p := range profiles {
+		for _, s := range p.Steps {
+			rows = append(rows, []string{
+				strconv.Itoa(p.Scale),
+				strconv.Itoa(p.EdgeFactor),
+				strconv.Itoa(s.Step),
+				strconv.FormatInt(s.FrontierVertices, 10),
+				strconv.FormatInt(s.FrontierEdges, 10),
+			})
+		}
+	}
+	return writeCSV(w, []string{"scale", "edgefactor", "level", "frontier_vertices", "frontier_edges"}, rows)
+}
+
+// DirectionTimesCSV emits Fig. 3 data.
+func DirectionTimesCSV(w io.Writer, rows []DirectionTimes) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Step),
+			fmt.Sprintf("%.9f", r.TopDown),
+			fmt.Sprintf("%.9f", r.BottomUp),
+		})
+	}
+	return writeCSV(w, []string{"level", "topdown_s", "bottomup_s"}, out)
+}
+
+// ScalingCSV emits Fig. 10 data.
+func ScalingCSV(w io.Writer, rows []ScalingRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Arch,
+			strconv.Itoa(r.Cores),
+			fmt.Sprintf("%.6f", r.GTEPS),
+		})
+	}
+	return writeCSV(w, []string{"arch", "cores", "gteps"}, out)
+}
+
+// CombinationsCSV emits Fig. 9 data.
+func CombinationsCSV(w io.Writer, rows []CombinationRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprintf("%.6f", r.MIC),
+			fmt.Sprintf("%.6f", r.CPU),
+			fmt.Sprintf("%.6f", r.GPU),
+			fmt.Sprintf("%.6f", r.Cross),
+		})
+	}
+	return writeCSV(w, []string{"graph", "mic_gteps", "cpu_gteps", "gpu_gteps", "cross_gteps"}, out)
+}
+
+// StrategiesCSV emits Fig. 8 data.
+func StrategiesCSV(w io.Writer, rows []StrategyRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprintf("%.9f", r.Random),
+			fmt.Sprintf("%.9f", r.Average),
+			fmt.Sprintf("%.9f", r.Regression),
+			fmt.Sprintf("%.9f", r.Exhaustive),
+			fmt.Sprintf("%.9f", r.Worst),
+		})
+	}
+	return writeCSV(w, []string{"graph", "random_s", "average_s", "regression_s", "exhaustive_s", "worst_s"}, out)
+}

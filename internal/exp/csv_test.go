@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/tuner"
+)
+
+func parseCSV(t *testing.T, data string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestFrontierProfilesCSV(t *testing.T) {
+	profiles := []FrontierProfile{{
+		Scale: 12, EdgeFactor: 16,
+		Steps: []bfs.LevelStats{
+			{Step: 1, FrontierVertices: 1, FrontierEdges: 8},
+			{Step: 2, FrontierVertices: 8, FrontierEdges: 90},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := FrontierProfilesCSV(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want header + 2", len(rows))
+	}
+	if rows[0][3] != "frontier_vertices" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[2][4] != "90" {
+		t.Errorf("data row = %v", rows[2])
+	}
+}
+
+func TestDirectionTimesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := DirectionTimesCSV(&buf, []DirectionTimes{{Step: 1, TopDown: 0.001, BottomUp: 0.002}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][0] != "1" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestScalingCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := ScalingCSV(&buf, []ScalingRow{{Arch: "CPU", Cores: 8, GTEPS: 1.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if rows[1][0] != "CPU" || rows[1][1] != "8" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCombinationsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CombinationsCSV(&buf, []CombinationRow{{Label: "g", MIC: 0.1, CPU: 0.5, GPU: 0.7, Cross: 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[0][4] != "cross_gteps" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestStrategiesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := StrategiesCSV(&buf, []StrategyRow{{
+		Label: "g",
+		StrategyTimes: tuner.StrategyTimes{
+			Random: 1, Average: 2, Regression: 3, Exhaustive: 4, Worst: 5,
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 2 || rows[1][5] != "5.000000000" {
+		t.Errorf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/rmat"
+)
+
+// HeuristicRow compares switching heuristics on one graph: the
+// paper's (M, N) rule with its exhaustively best thresholds, the same
+// rule with a fixed untuned threshold, Beamer's alpha/beta (SC'12),
+// Hong et al.'s one-way switch (PACT'11), and the pure baselines.
+// This extends the paper's related-work discussion (§VI) into a
+// measured comparison.
+type HeuristicRow struct {
+	Label      string
+	MNOracle   float64 // seconds, exhaustively tuned (M, N)
+	MNFixed    float64 // (M, N) = (64, 64), untuned
+	AlphaBeta  float64 // Beamer defaults (14, 24)
+	Hong       float64
+	PureTD     float64
+	PureBU     float64
+	OracleGain float64 // best alternative / MNOracle
+}
+
+// HeuristicComparison prices all heuristics on the CPU model over a
+// sweep of graphs.
+func HeuristicComparison(cfg Config, pairs [][2]int) ([]HeuristicRow, error) {
+	cfg.setDefaults()
+	if len(pairs) == 0 {
+		pairs = [][2]int{{14, 16}, {15, 16}, {16, 16}}
+	}
+	cpu := archsim.SandyBridge()
+	var rows []HeuristicRow
+	for _, pe := range pairs {
+		p := rmat.DefaultParams(pe[0], pe[1])
+		p.Seed = cfg.Seed
+		g, err := rmat.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := traceFromSampledRoot(g, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		oracle, _, err := tunedCombination(tr, cpu, cfg.Link)
+		if err != nil {
+			return nil, err
+		}
+		sim := func(plan core.Plan) float64 {
+			return core.Simulate(tr, plan, cfg.Link).Total
+		}
+		row := HeuristicRow{
+			Label:    fmt.Sprintf("SCALE=%d ef=%d", pe[0], pe[1]),
+			MNOracle: sim(oracle),
+			MNFixed:  sim(core.Combination(cpu, 64, 64)),
+			AlphaBeta: sim(core.PolicyPlan{
+				PlanName: "AlphaBeta", Arch: cpu,
+				NewPolicy: func() bfs.Policy { return bfs.NewAlphaBeta(0, 0) },
+			}),
+			Hong: sim(core.PolicyPlan{
+				PlanName: "Hong", Arch: cpu,
+				NewPolicy: func() bfs.Policy { return bfs.NewHongHybrid() },
+			}),
+			PureTD: sim(core.FixedDirection(cpu, bfs.TopDown)),
+			PureBU: sim(core.FixedDirection(cpu, bfs.BottomUp)),
+		}
+		bestAlt := row.MNFixed
+		for _, alt := range []float64{row.AlphaBeta, row.Hong, row.PureTD, row.PureBU} {
+			if alt < bestAlt {
+				bestAlt = alt
+			}
+		}
+		row.OracleGain = bestAlt / row.MNOracle
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crossbfs/internal/archsim"
+)
+
+func TestMultiCoprocessorScalingGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large workload")
+	}
+	cfg := Config{Scale: 18, EdgeFactor: 16, Seed: 1, NumRoots: 2}
+	rows, err := MultiCoprocessorScaling(cfg, archsim.GPU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// With scan-heavy levels routed to the GPUs, adding devices must
+	// help (the all-reduce is cheap next to the saved work).
+	if rows[2].SpeedupOver1 <= rows[0].SpeedupOver1 {
+		t.Errorf("3x GPU speedup %.2f not above 1x baseline", rows[2].SpeedupOver1)
+	}
+	if rows[2].SpeedupOver1 > 3 {
+		t.Errorf("superlinear multi-GPU speedup %.2f: transfer accounting broken?", rows[2].SpeedupOver1)
+	}
+}
+
+func TestMultiCoprocessorScalingMICLaunchBound(t *testing.T) {
+	// The honest negative: the MIC's per-level fork/join cost is not
+	// divided by partitioning, so at laptop scale extra MICs must NOT
+	// show meaningful gains (within 20% of flat).
+	rows, err := MultiCoprocessorScaling(smallCfg, archsim.MIC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SpeedupOver1 > 1.2 {
+			t.Errorf("%dx MIC speedup %.2f: launch-bound workload should stay flat", r.Coprocessors, r.SpeedupOver1)
+		}
+	}
+}
+
+func TestMultiCoprocessorRejectsCPUKind(t *testing.T) {
+	if _, err := MultiCoprocessorScaling(smallCfg, archsim.CPU, 2); err == nil {
+		t.Error("CPU as coprocessor kind accepted")
+	}
+}
+
+func TestRenderMultiCoprocessor(t *testing.T) {
+	var buf bytes.Buffer
+	err := RenderMultiCoprocessor(&buf, []MultiCoprocessorRow{
+		{Coprocessors: 2, Kind: "GPU", GTEPS: 1.4, SpeedupOver1: 1.11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2x GPU") || !strings.Contains(buf.String(), "1.11x") {
+		t.Errorf("render = %q", buf.String())
+	}
+}

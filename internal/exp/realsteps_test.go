@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMeasuredStepByStep(t *testing.T) {
+	r, err := MeasuredStepByStep(smallCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]interface {
+		TEPS() float64
+	}{
+		"top-down": r.TopDown, "bottom-up": r.BottomUp, "hybrid": r.Hybrid,
+	} {
+		if m.TEPS() <= 0 {
+			t.Errorf("%s: degenerate TEPS", name)
+		}
+	}
+	// Same traversal, same number of levels for the two frontier-
+	// driven engines (bottom-up may take the same count by
+	// construction of level-synchronized BFS).
+	if len(r.TopDown.StepWall) != len(r.BottomUp.StepWall) {
+		t.Errorf("level counts differ: %d vs %d", len(r.TopDown.StepWall), len(r.BottomUp.StepWall))
+	}
+	// Wall times are noisy on shared machines, so only a weak sanity
+	// bound: the hybrid should never be drastically worse than both
+	// pure engines.
+	worst := r.TopDown.Total
+	if r.BottomUp.Total > worst {
+		worst = r.BottomUp.Total
+	}
+	if r.Hybrid.Total > 3*worst {
+		t.Errorf("hybrid %v more than 3x worse than the worst pure engine %v", r.Hybrid.Total, worst)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MTEPS") {
+		t.Error("render missing summary row")
+	}
+}

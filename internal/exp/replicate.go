@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+
+	"crossbfs/internal/xmath"
+)
+
+// Replication support: the paper reports single runs; this
+// reproduction can rerun any scalar experiment metric across seeds and
+// report dispersion, so EXPERIMENTS.md claims are not one-seed flukes.
+
+// Replicated summarizes a metric across independent seeds.
+type Replicated struct {
+	Values []float64
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+func (r Replicated) String() string {
+	return fmt.Sprintf("%.3g +/- %.2g (n=%d, range %.3g-%.3g)",
+		r.Mean, r.StdDev, len(r.Values), r.Min, r.Max)
+}
+
+// ReplicateMetric evaluates metric once per seed and summarizes.
+func ReplicateMetric(seeds []uint64, metric func(seed uint64) (float64, error)) (Replicated, error) {
+	if len(seeds) == 0 {
+		return Replicated{}, fmt.Errorf("exp: no seeds")
+	}
+	values := make([]float64, 0, len(seeds))
+	for _, s := range seeds {
+		v, err := metric(s)
+		if err != nil {
+			return Replicated{}, fmt.Errorf("exp: seed %d: %w", s, err)
+		}
+		values = append(values, v)
+	}
+	return Replicated{
+		Values: values,
+		Mean:   xmath.Mean(values),
+		StdDev: xmath.StdDev(values),
+		Min:    xmath.Min(values),
+		Max:    xmath.Max(values),
+	}, nil
+}
+
+// CrossSpeedupReplicated reruns the Table V headline (tuned cross plan
+// over GPUTD at the config's scale) across seeds.
+func CrossSpeedupReplicated(cfg Config, seeds []uint64) (Replicated, error) {
+	cfg.setDefaults()
+	return ReplicateMetric(seeds, func(seed uint64) (float64, error) {
+		c := cfg
+		c.Seed = seed
+		rows, err := CrossSpeedups(c, [][2]int{{c.Scale, c.EdgeFactor}})
+		if err != nil {
+			return 0, err
+		}
+		return rows[0].Speedup, nil
+	})
+}

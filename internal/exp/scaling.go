@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/rmat"
+)
+
+// ScalingRow is one point of Fig. 10: performance at a core count.
+type ScalingRow struct {
+	Arch  string
+	Cores int
+	GTEPS float64
+}
+
+// StrongScaling drives Fig. 10a: fixed graph (the paper uses SCALE 22,
+// here cfg.Scale), CPU cores 1..8 and MIC cores 1..60. The scaled
+// plan is the level-synchronized top-down kernel: it carries the full
+// Θ(V+E) work at every scale, so the sweep exercises the compute and
+// bandwidth scaling rather than the fixed per-level launch costs that
+// dominate a tuned combination on laptop-sized graphs.
+func StrongScaling(cfg Config) ([]ScalingRow, error) {
+	cfg.setDefaults()
+	_, tr, _, err := cfg.workload()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	run := func(base archsim.Arch, cores []int) error {
+		for _, c := range cores {
+			plan := core.FixedDirection(base.WithCores(c), bfs.TopDown)
+			timing := core.Simulate(tr, plan, cfg.Link)
+			rows = append(rows, ScalingRow{Arch: base.Kind.String(), Cores: c, GTEPS: timing.GTEPS()})
+		}
+		return nil
+	}
+	if err := run(archsim.SandyBridge(), []int{1, 2, 4, 8}); err != nil {
+		return nil, err
+	}
+	if err := run(archsim.KnightsCorner(), []int{1, 4, 15, 30, 60}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// WeakScaling drives Fig. 10b: the workload grows with the core count
+// so per-core work stays constant (the paper loads 1M vertices per CPU
+// core and 0.25M per MIC core; here scaled down 16x).
+func WeakScaling(cfg Config) ([]ScalingRow, error) {
+	cfg.setDefaults()
+	var rows []ScalingRow
+	run := func(base archsim.Arch, scaleByCores map[int]int, order []int) error {
+		for _, c := range order {
+			p := rmat.DefaultParams(scaleByCores[c], cfg.EdgeFactor)
+			p.Seed = cfg.Seed
+			g, err := rmat.Generate(p)
+			if err != nil {
+				return err
+			}
+			tr, err := traceFromSampledRoot(g, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			plan := core.FixedDirection(base.WithCores(c), bfs.TopDown)
+			timing := core.Simulate(tr, plan, cfg.Link)
+			rows = append(rows, ScalingRow{Arch: base.Kind.String(), Cores: c, GTEPS: timing.GTEPS()})
+		}
+		return nil
+	}
+	// CPU: 64K vertices per core -> SCALE 16..19 at 1..8 cores.
+	if err := run(archsim.SandyBridge(), map[int]int{1: 16, 2: 17, 4: 18, 8: 19}, []int{1, 2, 4, 8}); err != nil {
+		return nil, err
+	}
+	// MIC: 16K vertices per core -> SCALE 14..20 at 1..60 cores.
+	if err := run(archsim.KnightsCorner(), map[int]int{1: 14, 4: 16, 16: 18, 60: 20}, []int{1, 4, 16, 60}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

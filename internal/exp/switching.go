@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/rmat"
+	"crossbfs/internal/tuner"
+	"crossbfs/internal/xrand"
+)
+
+// BestMRow is one cell of Table III: the exhaustively best M for one
+// graph on the CPU.
+type BestMRow struct {
+	Scale      int
+	EdgeFactor int
+	BestM      float64
+	BestN      float64
+}
+
+// BestSwitchingPoints drives Table III: best M per (SCALE, edgefactor)
+// on CPUs, searched over [1, 300] as the paper extends the range. The
+// paper's point is the *variance*: best M swings widely (54-275)
+// across graphs, which is why a fixed hand-tuned constant loses.
+func BestSwitchingPoints(scales, edgeFactors []int, seed uint64) ([]BestMRow, error) {
+	if len(scales) == 0 {
+		scales = []int{14, 15, 16}
+	}
+	if len(edgeFactors) == 0 {
+		edgeFactors = []int{8, 16, 32}
+	}
+	cpu := archsim.SandyBridge()
+	link := archsim.PCIe()
+	grid := tuner.CandidateGrid(40, 10, 300, 300)
+	var rows []BestMRow
+	for _, s := range scales {
+		for _, ef := range edgeFactors {
+			p := rmat.DefaultParams(s, ef)
+			p.Seed = seed
+			g, err := rmat.Generate(p)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := traceFromSampledRoot(g, seed)
+			if err != nil {
+				return nil, err
+			}
+			best, err := tuner.LabelBest(tr, cpu, cpu, link, grid)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, BestMRow{Scale: s, EdgeFactor: ef, BestM: best.M, BestN: best.N})
+		}
+	}
+	return rows, nil
+}
+
+// StrategyRow is one graph's group of bars in Fig. 8.
+type StrategyRow struct {
+	Label string
+	tuner.StrategyTimes
+}
+
+// StrategyComparison drives Fig. 8: train the regression model on the
+// default corpus, then for each evaluation graph compare Random /
+// Average / Regression / Exhaustive switching-point selection over the
+// 1000-candidate set on the cross-architecture (CPU-TD, GPU-BU) pair.
+// Returns the trained model's rows; model may be nil to train one.
+func StrategyComparison(cfg Config, model *tuner.Model, scales []int, edgeFactors []int) ([]StrategyRow, error) {
+	cfg.setDefaults()
+	if model == nil {
+		var err error
+		model, err = TrainDefaultModel(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(scales) == 0 {
+		scales = []int{14, 15, 16}
+	}
+	if len(edgeFactors) == 0 {
+		edgeFactors = []int{8, 16}
+	}
+	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
+	candidates := tuner.DefaultCandidates()
+	rng := xrand.New(cfg.Seed ^ 0xf1685)
+
+	var rows []StrategyRow
+	for _, s := range scales {
+		for _, ef := range edgeFactors {
+			p := rmat.DefaultParams(s, ef)
+			p.Seed = cfg.Seed
+			g, err := rmat.Generate(p)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := traceFromSampledRoot(g, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			gi := tuner.GraphInfoFor(p, g)
+			st, err := tuner.CompareStrategies(tr, cpu, gpu, cfg.Link, candidates, model, gi, rng)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, StrategyRow{
+				Label:         fmt.Sprintf("SCALE=%d ef=%d", s, ef),
+				StrategyTimes: st,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TrainDefaultModel builds the default corpus and trains the
+// switching-point model (the paper's 140-sample off-line stage).
+// progress may be nil.
+func TrainDefaultModel(progress func(done, total int)) (*tuner.Model, error) {
+	samples, err := tuner.BuildCorpus(tuner.DefaultCorpusSpec(), progress)
+	if err != nil {
+		return nil, err
+	}
+	return tuner.Train(samples, tuner.TrainOptions{})
+}

@@ -1,0 +1,236 @@
+// Package graph provides the Compressed Sparse Row (CSR) graph
+// substrate used by every BFS kernel in this repository.
+//
+// The paper stores graphs in CSR (§V-A: "We use the CSR format to
+// store the graph"). A CSR graph keeps all adjacency lists in one
+// contiguous array (Adj) indexed by a per-vertex offset array (Offsets),
+// which is what makes both the top-down edge scan and the bottom-up
+// early-exit scan cache-friendly and trivially shardable.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge in an edge list. BFS treats graphs as
+// undirected; Build symmetrizes unless told otherwise.
+type Edge struct {
+	From, To int32
+}
+
+// CSR is an immutable graph in Compressed Sparse Row form.
+// The neighbors of vertex v are Adj[Offsets[v]:Offsets[v+1]], sorted
+// ascending. Offsets has NumVertices+1 entries; Adj has NumEdges
+// entries (each undirected edge appears twice after symmetrization).
+type CSR struct {
+	Offsets []int64
+	Adj     []int32
+}
+
+// NumVertices returns |V|.
+func (g *CSR) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the number of directed adjacency entries (twice the
+// undirected edge count for a symmetrized graph).
+func (g *CSR) NumEdges() int64 { return int64(len(g.Adj)) }
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v int32) int64 {
+	return g.Offsets[v+1] - g.Offsets[v]
+}
+
+// Neighbors returns the adjacency slice of v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *CSR) Neighbors(v int32) []int32 {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// HasEdge reports whether the directed edge (u, v) exists, by binary
+// search over u's sorted adjacency list.
+func (g *CSR) HasEdge(u, v int32) bool {
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *CSR) MaxDegree() int64 {
+	var m int64
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(int32(v)); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BuildOptions control edge-list to CSR conversion.
+type BuildOptions struct {
+	// Symmetrize inserts the reverse of every edge so the CSR can be
+	// traversed as an undirected graph. This matches Graph 500 kernel 1.
+	Symmetrize bool
+	// KeepSelfLoops retains (v, v) edges. Graph 500 construction drops
+	// them, so the default (false) drops them too.
+	KeepSelfLoops bool
+	// KeepDuplicates retains parallel edges. Graph 500 construction
+	// deduplicates, so the default (false) deduplicates.
+	KeepDuplicates bool
+}
+
+// Build converts an edge list into a CSR graph with numVertices
+// vertices. Vertex IDs must lie in [0, numVertices).
+func Build(numVertices int, edges []Edge, opts BuildOptions) (*CSR, error) {
+	if numVertices < 0 {
+		return nil, errors.New("graph: negative vertex count")
+	}
+	n := int32(numVertices)
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+	}
+
+	// Count directed entries per vertex.
+	offsets := make([]int64, numVertices+1)
+	count := func(e Edge) {
+		if !opts.KeepSelfLoops && e.From == e.To {
+			return
+		}
+		offsets[e.From+1]++
+		if opts.Symmetrize && e.From != e.To {
+			offsets[e.To+1]++
+		}
+	}
+	for _, e := range edges {
+		count(e)
+	}
+	for v := 0; v < numVertices; v++ {
+		offsets[v+1] += offsets[v]
+	}
+
+	adj := make([]int32, offsets[numVertices])
+	cursor := make([]int64, numVertices)
+	place := func(from, to int32) {
+		pos := offsets[from] + cursor[from]
+		adj[pos] = to
+		cursor[from]++
+	}
+	for _, e := range edges {
+		if !opts.KeepSelfLoops && e.From == e.To {
+			continue
+		}
+		place(e.From, e.To)
+		if opts.Symmetrize && e.From != e.To {
+			place(e.To, e.From)
+		}
+	}
+
+	g := &CSR{Offsets: offsets, Adj: adj}
+	g.sortAdjacency()
+	if !opts.KeepDuplicates {
+		g.dedup()
+	}
+	return g, nil
+}
+
+// sortAdjacency sorts each adjacency list ascending.
+func (g *CSR) sortAdjacency() {
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+}
+
+// dedup removes duplicate entries from each (sorted) adjacency list,
+// compacting Adj and rewriting Offsets.
+func (g *CSR) dedup() {
+	n := g.NumVertices()
+	newOffsets := make([]int64, n+1)
+	w := int64(0)
+	for v := 0; v < n; v++ {
+		newOffsets[v] = w
+		start, end := g.Offsets[v], g.Offsets[v+1]
+		for i := start; i < end; i++ {
+			if i > start && g.Adj[i] == g.Adj[i-1] {
+				continue
+			}
+			g.Adj[w] = g.Adj[i]
+			w++
+		}
+	}
+	newOffsets[n] = w
+	g.Offsets = newOffsets
+	g.Adj = g.Adj[:w]
+}
+
+// Stats summarizes a graph for feature vectors and reports.
+type Stats struct {
+	NumVertices int
+	NumEdges    int64 // directed adjacency entries
+	MinDegree   int64
+	MaxDegree   int64
+	AvgDegree   float64
+	Isolated    int // vertices with degree 0
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func (g *CSR) ComputeStats() Stats {
+	s := Stats{
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		MinDegree:   int64(1) << 62,
+	}
+	if s.NumVertices == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	for v := 0; v < s.NumVertices; v++ {
+		d := g.Degree(int32(v))
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	s.AvgDegree = float64(s.NumEdges) / float64(s.NumVertices)
+	return s
+}
+
+// Validate checks structural invariants: monotone offsets, in-range
+// sorted adjacency. It returns nil for a well-formed CSR.
+func (g *CSR) Validate() error {
+	n := g.NumVertices()
+	if n < 0 {
+		return errors.New("graph: missing offsets")
+	}
+	if g.Offsets[0] != 0 {
+		return errors.New("graph: offsets must start at 0")
+	}
+	if g.Offsets[n] != int64(len(g.Adj)) {
+		return fmt.Errorf("graph: final offset %d != len(adj) %d", g.Offsets[n], len(g.Adj))
+	}
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph: offsets decrease at vertex %d", v)
+		}
+		if g.Offsets[v+1] > int64(len(g.Adj)) {
+			return fmt.Errorf("graph: offset of vertex %d exceeds adjacency length", v+1)
+		}
+		adj := g.Neighbors(int32(v))
+		for i, u := range adj {
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && adj[i-1] > u {
+				return fmt.Errorf("graph: adjacency of vertex %d not sorted", v)
+			}
+		}
+	}
+	return nil
+}

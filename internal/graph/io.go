@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary CSR container format, little-endian:
+//
+//	magic   [8]byte  "CSRGRAF1"
+//	nverts  uint64
+//	nedges  uint64   (len(Adj))
+//	offsets [nverts+1]int64
+//	adj     [nedges]int32
+//
+// The format is deliberately dumb: mmap-friendly layout, no
+// compression, so cmd/rmatgen output can be large but loads at disk
+// bandwidth.
+
+var csrMagic = [8]byte{'C', 'S', 'R', 'G', 'R', 'A', 'F', '1'}
+
+// WriteTo serializes the graph to w in the binary CSR format.
+func (g *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var written int64
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put(csrMagic); err != nil {
+		return written, err
+	}
+	if err := put(uint64(g.NumVertices())); err != nil {
+		return written, err
+	}
+	if err := put(uint64(len(g.Adj))); err != nil {
+		return written, err
+	}
+	if err := put(g.Offsets); err != nil {
+		return written, err
+	}
+	if err := put(g.Adj); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by WriteTo. The result is
+// validated structurally so that a truncated or corrupted file is
+// reported as an error rather than a later panic.
+func ReadFrom(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != csrMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (not a CSR graph file)", magic[:])
+	}
+	var nverts, nedges uint64
+	if err := binary.Read(br, binary.LittleEndian, &nverts); err != nil {
+		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nedges); err != nil {
+		return nil, fmt.Errorf("graph: reading edge count: %w", err)
+	}
+	const maxReasonable = 1 << 40
+	if nverts > maxReasonable || nedges > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible header (%d vertices, %d edges)", nverts, nedges)
+	}
+	g := &CSR{
+		Offsets: make([]int64, nverts+1),
+		Adj:     make([]int32, nedges),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt file: %w", err)
+	}
+	return g, nil
+}
+
+// Save writes the graph to path, creating or truncating it.
+func (g *CSR) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := g.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a graph from path.
+func Load(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := mustBuild(t, 5, []Edge{{0, 1}, {1, 2}, {3, 4}, {0, 4}}, BuildOptions{Symmetrize: true})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d -> %d/%d",
+			g.NumVertices(), g.NumEdges(), got.NumVertices(), got.NumEdges())
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		a, b := g.Neighbors(v), got.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency changed", v)
+			}
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	g := mustBuild(t, 0, nil, BuildOptions{})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.NumVertices() != 0 {
+		t.Error("empty graph round trip gained vertices")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := mustBuild(t, 4, []Edge{{0, 1}, {2, 3}}, BuildOptions{Symmetrize: true})
+	path := filepath.Join(t.TempDir(), "g.csr")
+	if err := g.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Error("Save/Load changed edge count")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.csr")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}
+
+func TestReadFromBadMagic(t *testing.T) {
+	_, err := ReadFrom(strings.NewReader("NOTAGRAPHFILE___penguins"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic error = %v", err)
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	g := mustBuild(t, 100, []Edge{{0, 1}, {5, 7}, {20, 90}}, BuildOptions{Symmetrize: true})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	full := buf.Bytes()
+	// Every truncation point must produce an error, not a panic or a
+	// silently wrong graph.
+	for _, cut := range []int{0, 4, 8, 16, 24, 30, len(full) / 2, len(full) - 1} {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestReadFromCorruptedAdjacency(t *testing.T) {
+	g := mustBuild(t, 8, []Edge{{0, 1}, {1, 2}, {2, 3}}, BuildOptions{Symmetrize: true})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	data := buf.Bytes()
+	// Corrupt the last adjacency entry to an out-of-range vertex.
+	data[len(data)-1] = 0x7f
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted adjacency accepted")
+	}
+}
+
+func TestReadFromImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("CSRGRAF1"))
+	// Absurd vertex count: must be rejected before allocation.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	buf.Write(make([]byte, 8))
+	if _, err := ReadFrom(&buf); err == nil {
+		t.Error("implausible header accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package graph500
+
+import (
+	"testing"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+func testGraph(t *testing.T, scale, ef int) *graph.CSR {
+	t.Helper()
+	g, err := rmat.Generate(rmat.DefaultParams(scale, ef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleRoots(t *testing.T) {
+	g := testGraph(t, 10, 8)
+	roots := SampleRoots(g, 64, 1)
+	if len(roots) != 64 {
+		t.Fatalf("sampled %d roots, want 64", len(roots))
+	}
+	seen := map[int32]bool{}
+	for _, r := range roots {
+		if seen[r] {
+			t.Errorf("duplicate root %d", r)
+		}
+		seen[r] = true
+		if g.Degree(r) == 0 {
+			t.Errorf("isolated root %d", r)
+		}
+	}
+}
+
+func TestSampleRootsDeterministic(t *testing.T) {
+	g := testGraph(t, 9, 8)
+	a := SampleRoots(g, 16, 7)
+	b := SampleRoots(g, 16, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("root sampling not deterministic")
+		}
+	}
+}
+
+func TestSampleRootsEdgeless(t *testing.T) {
+	g, err := graph.Build(10, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roots := SampleRoots(g, 4, 1); len(roots) != 0 {
+		t.Errorf("edgeless graph yielded %d roots", len(roots))
+	}
+	empty, err := graph.Build(0, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roots := SampleRoots(empty, 4, 1); len(roots) != 0 {
+		t.Errorf("empty graph yielded %d roots", len(roots))
+	}
+}
+
+func TestSampleRootsFewerThanRequested(t *testing.T) {
+	// Only 2 non-isolated vertices exist.
+	g, err := graph.Build(10, []graph.Edge{{From: 0, To: 1}}, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := SampleRoots(g, 64, 1)
+	if len(roots) != 2 {
+		t.Errorf("sampled %d roots from a 2-vertex component, want 2", len(roots))
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	g := testGraph(t, 10, 16)
+	plan := core.Combination(archsim.SandyBridge(), 64, 64)
+	res, err := Run(g, plan, archsim.PCIe(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRoots != 8 || len(res.TEPS) != 8 {
+		t.Fatalf("NumRoots %d, TEPS %d", res.NumRoots, len(res.TEPS))
+	}
+	if res.Harmonic <= 0 || res.Mean <= 0 {
+		t.Error("aggregates not positive")
+	}
+	if res.Harmonic > res.Mean {
+		t.Errorf("harmonic %g > arithmetic %g", res.Harmonic, res.Mean)
+	}
+	if res.Min > res.Harmonic || res.Max < res.Mean {
+		t.Error("min/max inconsistent with means")
+	}
+	if res.Plan != "CPUCB" {
+		t.Errorf("plan name %q", res.Plan)
+	}
+}
+
+func TestRunEmptyGraphErrors(t *testing.T) {
+	g, err := graph.Build(4, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := core.FixedDirection(archsim.SandyBridge(), bfs.TopDown)
+	if _, err := Run(g, plan, archsim.PCIe(), 4, 1); err == nil {
+		t.Error("edgeless graph benchmark succeeded")
+	}
+}
+
+func TestBenchmarkEndToEnd(t *testing.T) {
+	plan := core.FixedDirection(archsim.KeplerK20x(), bfs.TopDown)
+	res, err := Benchmark(rmat.DefaultParams(9, 8), plan, archsim.PCIe(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GTEPS() <= 0 {
+		t.Error("GTEPS not positive")
+	}
+}
+
+func TestReferenceSlowerThanTuned(t *testing.T) {
+	// §V-D: the paper's tuned CPU combination beats the Graph 500
+	// reference implementation by 4.96-21x; at minimum our reference
+	// model must be clearly slower than the tuned combination.
+	g := testGraph(t, 15, 16)
+	link := archsim.PCIe()
+	ref, err := Run(g, ReferenceCPUPlan(), link, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := Run(g, core.Combination(archsim.SandyBridge(), 64, 64), link, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := tuned.Harmonic / ref.Harmonic; speedup < 2 {
+		t.Errorf("tuned CPU combination only %.2fx over Graph500 reference, want >= 2x", speedup)
+	}
+}
+
+func TestGaoMICReferenceSlowerThanMICCombination(t *testing.T) {
+	g := testGraph(t, 15, 16)
+	link := archsim.PCIe()
+	ref, err := Run(g, GaoMICReferencePlan(), link, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miccb, err := Run(g, core.Combination(archsim.KnightsCorner(), 64, 64), link, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := miccb.Harmonic / ref.Harmonic; speedup < 1.5 {
+		t.Errorf("MIC combination only %.2fx over Gao reference, want >= 1.5x", speedup)
+	}
+}

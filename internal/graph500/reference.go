@@ -1,0 +1,37 @@
+package graph500
+
+import (
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/core"
+)
+
+// ReferenceCPUPlan models the stock Graph 500 reference implementation
+// the paper benchmarks against in §V-D (4.96-21x slower than their
+// tuned CPU code): a top-down-only level-synchronized BFS with naive
+// data structures. The derating reflects the reference code's known
+// costs relative to a tuned implementation — no frontier bitmap, a
+// shared atomically-updated queue, unblocked memory access — and is
+// calibrated so the tuned-CPU-over-reference gap lands in the paper's
+// reported band.
+func ReferenceCPUPlan() core.Plan {
+	ref := archsim.SandyBridge()
+	ref.Name = "Graph500-ref-CPU"
+	ref.TDRate *= 0.30
+	ref.ThreadRate *= 0.5
+	ref.LaunchOverhead *= 1.5
+	return core.SinglePlan{PlanName: "G500REF", Arch: ref, Policy: bfs.AlwaysTopDown}
+}
+
+// GaoMICReferencePlan models the prior state-of-the-art MIC BFS of Gao
+// et al. (IPDPSW'13), the paper's §V-D MIC comparison point (13x
+// slower than the paper's MIC combination for the 64M-vertex graph):
+// top-down only, with the unmodified-port penalty on in-order cores.
+func GaoMICReferencePlan() core.Plan {
+	ref := archsim.KnightsCorner()
+	ref.Name = "GaoMIC-ref"
+	ref.TDRate *= 0.25
+	ref.ThreadRate *= 0.6
+	ref.LaunchOverhead *= 2
+	return core.SinglePlan{PlanName: "GAOMIC", Arch: ref, Policy: bfs.AlwaysTopDown}
+}

@@ -1,0 +1,97 @@
+package graph500
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"crossbfs/internal/xmath"
+)
+
+// Summary holds the order statistics the official Graph 500 output
+// reports for both per-root times and per-root TEPS.
+type Summary struct {
+	Min, FirstQuartile, Median, ThirdQuartile, Max float64
+	Mean, StdDev                                   float64
+	HarmonicMean, HarmonicStdDev                   float64
+}
+
+// Summarize computes the Graph 500 statistics of xs. The harmonic
+// standard deviation follows the reference code's formula (stddev of
+// the reciprocals, propagated through the harmonic mean).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		Min:           sorted[0],
+		FirstQuartile: xmath.Quantile(xs, 0.25),
+		Median:        xmath.Quantile(xs, 0.5),
+		ThirdQuartile: xmath.Quantile(xs, 0.75),
+		Max:           sorted[len(sorted)-1],
+		Mean:          xmath.Mean(xs),
+		StdDev:        xmath.StdDev(xs),
+		HarmonicMean:  xmath.HarmonicMean(xs),
+	}
+	// Reference formula: hstddev = stddev(1/x) * hmean^2 / sqrt(n-1).
+	if len(xs) > 1 && s.HarmonicMean > 0 {
+		inv := make([]float64, len(xs))
+		for i, x := range xs {
+			if x == 0 {
+				return s
+			}
+			inv[i] = 1 / x
+		}
+		s.HarmonicStdDev = xmath.StdDev(inv) * s.HarmonicMean * s.HarmonicMean /
+			math.Sqrt(float64(len(xs)-1))
+	}
+	return s
+}
+
+// Report mirrors the official Graph 500 output block: construction
+// time, then the time and TEPS statistics over all search roots.
+type Report struct {
+	Scale            int
+	EdgeFactor       int
+	NumRoots         int
+	ConstructionTime float64 // seconds (kernel 1)
+	Time             Summary // per-root seconds (kernel 2)
+	TEPS             Summary
+}
+
+// Write prints the report in the official key:value layout.
+func (r *Report) Write(w io.Writer) error {
+	lines := []struct {
+		key   string
+		value float64
+	}{
+		{"construction_time", r.ConstructionTime},
+		{"min_time", r.Time.Min},
+		{"firstquartile_time", r.Time.FirstQuartile},
+		{"median_time", r.Time.Median},
+		{"thirdquartile_time", r.Time.ThirdQuartile},
+		{"max_time", r.Time.Max},
+		{"mean_time", r.Time.Mean},
+		{"stddev_time", r.Time.StdDev},
+		{"min_TEPS", r.TEPS.Min},
+		{"firstquartile_TEPS", r.TEPS.FirstQuartile},
+		{"median_TEPS", r.TEPS.Median},
+		{"thirdquartile_TEPS", r.TEPS.ThirdQuartile},
+		{"max_TEPS", r.TEPS.Max},
+		{"harmonic_mean_TEPS", r.TEPS.HarmonicMean},
+		{"harmonic_stddev_TEPS", r.TEPS.HarmonicStdDev},
+	}
+	if _, err := fmt.Fprintf(w, "SCALE: %d\nedgefactor: %d\nNBFS: %d\n",
+		r.Scale, r.EdgeFactor, r.NumRoots); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s: %.6g\n", l.key, l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package graph500
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{4, 2, 1, 3}
+	s := Summarize(xs)
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median = %g, want 2.5", s.Median)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("mean = %g, want 2.5", s.Mean)
+	}
+	wantH := 4 / (1.0 + 0.5 + 1.0/3 + 0.25)
+	if math.Abs(s.HarmonicMean-wantH) > 1e-12 {
+		t.Errorf("harmonic = %g, want %g", s.HarmonicMean, wantH)
+	}
+	if s.FirstQuartile > s.Median || s.Median > s.ThirdQuartile {
+		t.Error("quartiles out of order")
+	}
+	if s.HarmonicStdDev <= 0 {
+		t.Error("harmonic stddev not positive for dispersed data")
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Min != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestReportWrite(t *testing.T) {
+	r := &Report{
+		Scale: 16, EdgeFactor: 16, NumRoots: 64,
+		ConstructionTime: 1.5,
+		Time:             Summarize([]float64{0.1, 0.2}),
+		TEPS:             Summarize([]float64{1e9, 2e9}),
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, key := range []string{
+		"SCALE: 16", "NBFS: 64", "construction_time: 1.5",
+		"median_time", "harmonic_mean_TEPS", "stddev_time",
+	} {
+		if !strings.Contains(out, key) {
+			t.Errorf("report missing %q:\n%s", key, out)
+		}
+	}
+}

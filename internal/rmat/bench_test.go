@@ -1,0 +1,24 @@
+package rmat
+
+import "testing"
+
+func BenchmarkEdges(b *testing.B) {
+	p := DefaultParams(15, 16)
+	b.SetBytes(p.NumGeneratedEdges() * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Edges(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	p := DefaultParams(14, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

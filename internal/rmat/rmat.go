@@ -1,0 +1,184 @@
+// Package rmat generates scale-free R-MAT graphs with the recursive
+// Kronecker construction used by the Graph 500 benchmark.
+//
+// The paper's entire evaluation runs on these graphs (§V-A): a graph
+// has 2^SCALE vertices and edgefactor*2^SCALE generated edges; each
+// edge picks one of four quadrants of the adjacency matrix with
+// probabilities A, B, C, D at every one of SCALE recursion levels. The
+// paper fixes A=0.57, B=0.19, C=0.19, D=0.05 (the Graph 500 defaults),
+// which concentrates edges on low-numbered vertices and yields the
+// skewed degree distribution and small diameter that make
+// direction-optimizing BFS pay off.
+package rmat
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"crossbfs/internal/graph"
+	"crossbfs/internal/xrand"
+)
+
+// Params describe an R-MAT graph. The zero value is invalid; start
+// from DefaultParams.
+type Params struct {
+	Scale      int     // log2 of the number of vertices
+	EdgeFactor int     // generated edges per vertex (half the average degree, Table I)
+	A, B, C, D float64 // quadrant probabilities; must sum to 1
+	Seed       uint64  // PRNG seed; same Params -> same graph
+	// Permute relabels vertices with a random permutation after
+	// generation, as Graph 500 requires, so that vertex ID carries no
+	// degree information. Experiments that want the raw Kronecker
+	// labels (e.g. for deterministic tiny fixtures) can disable it.
+	Permute bool
+}
+
+// DefaultParams returns the paper's graph configuration at the given
+// scale and edge factor: A=0.57, B=0.19, C=0.19, D=0.05, permuted.
+func DefaultParams(scale, edgeFactor int) Params {
+	return Params{
+		Scale:      scale,
+		EdgeFactor: edgeFactor,
+		A:          0.57,
+		B:          0.19,
+		C:          0.19,
+		D:          0.05,
+		Seed:       1,
+		Permute:    true,
+	}
+}
+
+// NumVertices returns 2^Scale.
+func (p Params) NumVertices() int { return 1 << uint(p.Scale) }
+
+// NumGeneratedEdges returns EdgeFactor * 2^Scale (the number of edge
+// tuples generated; the CSR has up to twice as many directed entries
+// after symmetrization, fewer after dedup).
+func (p Params) NumGeneratedEdges() int64 {
+	return int64(p.EdgeFactor) << uint(p.Scale)
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Scale < 0 || p.Scale > 40 {
+		return fmt.Errorf("rmat: scale %d out of range [0,40]", p.Scale)
+	}
+	if p.EdgeFactor < 0 {
+		return errors.New("rmat: negative edge factor")
+	}
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.D < 0 {
+		return errors.New("rmat: negative quadrant probability")
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Edges generates the raw edge list (before symmetrization/dedup).
+// Generation is deterministic in Params, including across worker
+// counts: each edge's randomness comes from a per-edge-block stream
+// derived from the seed.
+func Edges(p Params) ([]graph.Edge, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := p.NumGeneratedEdges()
+	edges := make([]graph.Edge, total)
+
+	const blockSize = 1 << 16
+	numBlocks := int((total + blockSize - 1) / blockSize)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var wg sync.WaitGroup
+	blocks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := range blocks {
+				// Independent deterministic stream per block: block
+				// boundaries, not worker scheduling, define the graph.
+				rng := xrand.New(p.Seed ^ (0x9e3779b97f4a7c15 * uint64(b+1)))
+				start := int64(b) * blockSize
+				end := start + blockSize
+				if end > total {
+					end = total
+				}
+				for i := start; i < end; i++ {
+					edges[i] = oneEdge(p, rng)
+				}
+			}
+		}()
+	}
+	for b := 0; b < numBlocks; b++ {
+		blocks <- b
+	}
+	close(blocks)
+	wg.Wait()
+
+	if p.Permute {
+		applyPermutation(edges, p)
+	}
+	return edges, nil
+}
+
+// oneEdge draws a single edge by descending Scale levels of the
+// recursive quadrant partition.
+func oneEdge(p Params, rng *xrand.Rand) graph.Edge {
+	var u, v int64
+	ab := p.A + p.B
+	abc := p.A + p.B + p.C
+	for depth := 0; depth < p.Scale; depth++ {
+		u <<= 1
+		v <<= 1
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: no bits set
+		case r < ab:
+			v |= 1 // top-right
+		case r < abc:
+			u |= 1 // bottom-left
+		default:
+			u |= 1 // bottom-right
+			v |= 1
+		}
+	}
+	return graph.Edge{From: int32(u), To: int32(v)}
+}
+
+// applyPermutation relabels all endpoints with a seed-derived random
+// permutation of the vertex set.
+func applyPermutation(edges []graph.Edge, p Params) {
+	n := p.NumVertices()
+	rng := xrand.New(p.Seed ^ 0xc2b2ae3d27d4eb4f)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for i := range edges {
+		edges[i].From = perm[edges[i].From]
+		edges[i].To = perm[edges[i].To]
+	}
+}
+
+// Generate produces the symmetrized, deduplicated CSR graph for p —
+// the graph the BFS kernels traverse (Graph 500 kernel 1 semantics).
+func Generate(p Params) (*graph.CSR, error) {
+	edges, err := Edges(p)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Build(p.NumVertices(), edges, graph.BuildOptions{Symmetrize: true})
+}

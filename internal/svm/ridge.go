@@ -1,0 +1,136 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ridge is a linear model y = w.x + b fit with L2 regularization —
+// the simple baseline the SVR is compared against, and a fallback
+// when training data is tiny.
+type Ridge struct {
+	Weights []float64
+	Bias    float64
+}
+
+// Predict evaluates the linear model at x.
+func (m *Ridge) Predict(x []float64) float64 {
+	s := m.Bias
+	for i, w := range m.Weights {
+		s += w * x[i]
+	}
+	return s
+}
+
+// TrainRidge solves (X'X + lambda*I) w = X'y in closed form (with an
+// unpenalized intercept, via column centering). lambda must be >= 0;
+// lambda = 0 is ordinary least squares on well-conditioned data.
+func TrainRidge(X [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("svm: no training samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svm: %d samples but %d targets", n, len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("svm: negative lambda %g", lambda)
+	}
+	d := len(X[0])
+	for i, x := range X {
+		if len(x) != d {
+			return nil, fmt.Errorf("svm: sample %d has %d features, want %d", i, len(x), d)
+		}
+	}
+
+	// Center features and target so the intercept is unpenalized.
+	xMean := make([]float64, d)
+	for _, x := range X {
+		for j, v := range x {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	var yMean float64
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(n)
+
+	// Normal equations on centered data.
+	a := make([][]float64, d) // X'X + lambda*I
+	rhs := make([]float64, d) // X'y
+	for j := range a {
+		a[j] = make([]float64, d)
+	}
+	for i, x := range X {
+		yc := y[i] - yMean
+		for j := 0; j < d; j++ {
+			xj := x[j] - xMean[j]
+			rhs[j] += xj * yc
+			for k := j; k < d; k++ {
+				a[j][k] += xj * (x[k] - xMean[k])
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+		a[j][j] += lambda
+	}
+
+	w, err := solveSymmetric(a, rhs)
+	if err != nil {
+		return nil, err
+	}
+	bias := yMean
+	for j := range w {
+		bias -= w[j] * xMean[j]
+	}
+	return &Ridge{Weights: w, Bias: bias}, nil
+}
+
+// solveSymmetric solves a*x = b by Gaussian elimination with partial
+// pivoting; a and b are overwritten.
+func solveSymmetric(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, errors.New("svm: singular system (try lambda > 0)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			if factor == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= factor * a[col][k]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < n; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

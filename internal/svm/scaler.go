@@ -1,0 +1,64 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler min-max-normalizes features to [0, 1], the standard libsvm
+// preprocessing the paper's pipeline implies: the 12 features of
+// Fig. 7 span ten orders of magnitude (edge counts vs Kronecker
+// probabilities), which would otherwise drown the small ones.
+type Scaler struct {
+	Min, Max []float64
+}
+
+// FitScaler learns per-feature ranges from X.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, errors.New("svm: no samples to fit scaler")
+	}
+	d := len(X[0])
+	s := &Scaler{Min: make([]float64, d), Max: make([]float64, d)}
+	copy(s.Min, X[0])
+	copy(s.Max, X[0])
+	for _, x := range X[1:] {
+		if len(x) != d {
+			return nil, fmt.Errorf("svm: inconsistent sample width %d vs %d", len(x), d)
+		}
+		for j, v := range x {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a scaled copy of x. Constant features map to 0.
+// Values outside the fitted range extrapolate linearly (prediction
+// samples may exceed the training range).
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		span := s.Max[j] - s.Min[j]
+		if span == 0 {
+			out[j] = 0
+			continue
+		}
+		out[j] = (v - s.Min[j]) / span
+	}
+	return out
+}
+
+// TransformAll scales every sample.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = s.Transform(x)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SVRParams configure training.
+type SVRParams struct {
+	// Kernel defaults to RBF with gamma = 1/numFeatures when nil.
+	Kernel Kernel
+	// C is the box constraint (regularization inverse); must be > 0.
+	C float64
+	// Epsilon is the insensitive-tube half width; must be >= 0.
+	Epsilon float64
+	// Tol is the minimum objective improvement that keeps the solver
+	// iterating; defaults to 1e-8.
+	Tol float64
+	// MaxPasses bounds full sweeps over all pairs; defaults to 200.
+	MaxPasses int
+}
+
+func (p *SVRParams) setDefaults(numFeatures int) error {
+	if p.C <= 0 {
+		return fmt.Errorf("svm: C must be positive, got %g", p.C)
+	}
+	if p.Epsilon < 0 {
+		return fmt.Errorf("svm: epsilon must be non-negative, got %g", p.Epsilon)
+	}
+	if p.Kernel == nil {
+		gamma := 1.0
+		if numFeatures > 0 {
+			gamma = 1 / float64(numFeatures)
+		}
+		p.Kernel = RBF{Gamma: gamma}
+	}
+	if p.Tol <= 0 {
+		p.Tol = 1e-8
+	}
+	if p.MaxPasses <= 0 {
+		p.MaxPasses = 200
+	}
+	return nil
+}
+
+// SVR is a trained epsilon-SVR model: f(x) = sum_i beta_i K(x_i, x) + b
+// over the retained support vectors.
+type SVR struct {
+	Kernel  Kernel
+	Vectors [][]float64 // support vectors
+	Beta    []float64   // alpha_i - alpha_i^*, nonzero
+	Bias    float64
+}
+
+// Predict evaluates the regression function at x.
+func (m *SVR) Predict(x []float64) float64 {
+	s := m.Bias
+	for i, v := range m.Vectors {
+		s += m.Beta[i] * m.Kernel.Eval(v, x)
+	}
+	return s
+}
+
+// NumSupportVectors returns the size of the retained expansion.
+func (m *SVR) NumSupportVectors() int { return len(m.Vectors) }
+
+// TrainSVR fits an epsilon-SVR to (X, y) with a pairwise SMO solver on
+// the beta = alpha - alpha* formulation:
+//
+//	maximize  -1/2 beta' K beta - eps*sum|beta_i| + sum y_i beta_i
+//	s.t.      sum beta_i = 0,   -C <= beta_i <= C
+//
+// Each step picks a pair (i, j), moves delta from j to i (preserving
+// the equality constraint), and solves the one-dimensional piecewise
+// quadratic exactly — the |beta| kinks at beta_i = 0 and beta_j = 0
+// split the feasible interval into segments with closed-form optima.
+func TrainSVR(X [][]float64, y []float64, params SVRParams) (*SVR, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, errors.New("svm: no training samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svm: %d samples but %d targets", n, len(y))
+	}
+	dim := len(X[0])
+	for i, x := range X {
+		if len(x) != dim {
+			return nil, fmt.Errorf("svm: sample %d has %d features, want %d", i, len(x), dim)
+		}
+	}
+	if err := params.setDefaults(dim); err != nil {
+		return nil, err
+	}
+
+	// Dense Gram matrix: fine for the paper-scale corpus (~140x140).
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := params.Kernel.Eval(X[i], X[j])
+			gram[i][j] = v
+			gram[j][i] = v
+		}
+	}
+
+	beta := make([]float64, n)
+	f := make([]float64, n) // f[k] = sum_j beta_j K(k, j), bias-free
+
+	for pass := 0; pass < params.MaxPasses; pass++ {
+		improved := 0.0
+		for i := 0; i < n; i++ {
+			// Second choice: the j maximizing the unregularized
+			// gradient gap |E_j - E_i| — the pair with the most slack.
+			bestJ, bestGap := -1, 0.0
+			ei := f[i] - y[i]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				gap := math.Abs((f[j] - y[j]) - ei)
+				if gap > bestGap {
+					bestGap, bestJ = gap, j
+				}
+			}
+			if bestJ < 0 {
+				continue
+			}
+			improved += optimizePair(i, bestJ, beta, f, y, gram, params)
+		}
+		if improved < params.Tol {
+			break
+		}
+	}
+
+	// Bias from the KKT conditions: an unbounded beta_i > 0 pins
+	// y_i - f(x_i) - b = eps; beta_i < 0 pins it to -eps. Use the
+	// midpoint of the feasible interval so bounded and zero betas
+	// also constrain b.
+	lo, hi := math.Inf(-1), math.Inf(1)
+	for i := 0; i < n; i++ {
+		r := y[i] - f[i] // = b + (tube offset)
+		switch {
+		case beta[i] > 0 && beta[i] < params.C:
+			lo = math.Max(lo, r-params.Epsilon)
+			hi = math.Min(hi, r-params.Epsilon)
+		case beta[i] < 0 && beta[i] > -params.C:
+			lo = math.Max(lo, r+params.Epsilon)
+			hi = math.Min(hi, r+params.Epsilon)
+		case beta[i] == 0:
+			// |y - f - b| <= eps must hold: b in [r-eps, r+eps].
+			lo = math.Max(lo, r-params.Epsilon)
+			hi = math.Min(hi, r+params.Epsilon)
+		case beta[i] >= params.C:
+			// At the upper bound the residual may exceed the tube:
+			// b <= r - eps ... b can be anything <= r-eps? Constraint:
+			// y - f - b >= eps  =>  b <= r - eps.
+			hi = math.Min(hi, r-params.Epsilon)
+		default: // beta[i] <= -C
+			lo = math.Max(lo, r+params.Epsilon)
+		}
+	}
+	var bias float64
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		bias = 0
+	case math.IsInf(lo, -1):
+		bias = hi
+	case math.IsInf(hi, 1):
+		bias = lo
+	default:
+		bias = (lo + hi) / 2
+	}
+
+	// Retain only support vectors.
+	m := &SVR{Kernel: params.Kernel, Bias: bias}
+	for i, b := range beta {
+		if b != 0 {
+			m.Vectors = append(m.Vectors, X[i])
+			m.Beta = append(m.Beta, b)
+		}
+	}
+	return m, nil
+}
+
+// optimizePair moves delta from beta[j] to beta[i] to maximize the
+// dual, returns the objective improvement achieved.
+func optimizePair(i, j int, beta, f, y []float64, gram [][]float64, params SVRParams) float64 {
+	eta := gram[i][i] + gram[j][j] - 2*gram[i][j]
+	if eta <= 1e-12 {
+		return 0 // identical points in feature space; nothing to move
+	}
+	c := params.C
+	eps := params.Epsilon
+	bi, bj := beta[i], beta[j]
+	// Box: beta_i + delta in [-C, C], beta_j - delta in [-C, C].
+	lo := math.Max(-c-bi, bj-c)
+	hi := math.Min(c-bi, bj+c)
+	if lo >= hi {
+		return 0
+	}
+
+	// Gradient gap at delta = 0 without the eps term.
+	g := (f[j] - y[j]) - (f[i] - y[i])
+
+	// Objective change:
+	//   dW(delta) = g*delta - eta*delta^2/2
+	//             - eps*(|bi+delta| - |bi|) - eps*(|bj-delta| - |bj|)
+	dW := func(d float64) float64 {
+		return g*d - eta*d*d/2 -
+			eps*(math.Abs(bi+d)-math.Abs(bi)) -
+			eps*(math.Abs(bj-d)-math.Abs(bj))
+	}
+
+	// Candidate optima: for each sign combination (s_i, s_j) of
+	// (bi+delta, bj-delta), the segment optimum is
+	// (g - eps*(s_i - s_j)) / eta; plus the kinks and the box ends.
+	candidates := []float64{lo, hi, -bi, bj}
+	for _, si := range []float64{-1, 1} {
+		for _, sj := range []float64{-1, 1} {
+			candidates = append(candidates, (g-eps*(si-sj))/eta)
+		}
+	}
+
+	bestD, bestW := 0.0, 0.0
+	for _, d := range candidates {
+		if d < lo {
+			d = lo
+		}
+		if d > hi {
+			d = hi
+		}
+		if w := dW(d); w > bestW {
+			bestW, bestD = w, d
+		}
+	}
+	if bestW <= 0 || bestD == 0 {
+		return 0
+	}
+
+	beta[i] += bestD
+	beta[j] -= bestD
+	for k := range f {
+		f[k] += bestD * (gram[k][i] - gram[k][j])
+	}
+	return bestW
+}

@@ -1,0 +1,100 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"crossbfs/internal/xrand"
+)
+
+// Hyperparameter selection by k-fold cross-validation — the model
+// selection step of the libsvm workflow the paper follows (§II-C cites
+// the libsvm guide, whose standard recipe is a grid search over C and
+// gamma validated by CV).
+
+// CVResult records one grid point's cross-validated error.
+type CVResult struct {
+	Options TrainOptions
+	// RMSE is the root-mean-square error of log-space predictions
+	// (the models are trained on log M / log N).
+	RMSE float64
+}
+
+// DefaultGrid returns the (C, gamma) grid searched by SelectModel:
+// three decades of each around the defaults, epsilon fixed.
+func DefaultGrid() []TrainOptions {
+	var grid []TrainOptions
+	for _, c := range []float64{4, 16, 64, 256} {
+		for _, gamma := range []float64{0.25, 1, 4} {
+			grid = append(grid, TrainOptions{C: c, Gamma: gamma, Epsilon: 0.05})
+		}
+	}
+	return grid
+}
+
+// CrossValidate estimates the out-of-sample log-space RMSE of one
+// hyperparameter setting with k-fold CV over the labelled samples.
+// The fold assignment is deterministic in seed.
+func CrossValidate(samples []Labeled, opts TrainOptions, k int, seed uint64) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("tuner: need k >= 2 folds, got %d", k)
+	}
+	if len(samples) < 2*k {
+		return 0, fmt.Errorf("tuner: %d samples too few for %d-fold CV", len(samples), k)
+	}
+	// Shuffled fold assignment.
+	rng := xrand.New(seed ^ 0xcf01d5)
+	perm := rng.Perm(len(samples))
+
+	var sumSq float64
+	var count int
+	for fold := 0; fold < k; fold++ {
+		var train, test []Labeled
+		for i, idx := range perm {
+			if i%k == fold {
+				test = append(test, samples[idx])
+			} else {
+				train = append(train, samples[idx])
+			}
+		}
+		model, err := Train(train, opts)
+		if err != nil {
+			return 0, fmt.Errorf("tuner: CV fold %d: %w", fold, err)
+		}
+		for _, s := range test {
+			p := model.Predict(s.Sample)
+			dM := math.Log(p.M) - math.Log(s.Best.M)
+			dN := math.Log(p.N) - math.Log(s.Best.N)
+			sumSq += dM*dM + dN*dN
+			count += 2
+		}
+	}
+	return math.Sqrt(sumSq / float64(count)), nil
+}
+
+// SelectModel grid-searches hyperparameters by k-fold CV, then trains
+// the final model on all samples with the winning setting. It returns
+// the model, the winning grid point, and every grid point's score.
+func SelectModel(samples []Labeled, grid []TrainOptions, k int, seed uint64) (*Model, CVResult, []CVResult, error) {
+	if len(grid) == 0 {
+		grid = DefaultGrid()
+	}
+	results := make([]CVResult, 0, len(grid))
+	best := CVResult{RMSE: math.Inf(1)}
+	for _, opts := range grid {
+		rmse, err := CrossValidate(samples, opts, k, seed)
+		if err != nil {
+			return nil, CVResult{}, nil, err
+		}
+		r := CVResult{Options: opts, RMSE: rmse}
+		results = append(results, r)
+		if rmse < best.RMSE {
+			best = r
+		}
+	}
+	model, err := Train(samples, best.Options)
+	if err != nil {
+		return nil, CVResult{}, nil, err
+	}
+	return model, best, results, nil
+}

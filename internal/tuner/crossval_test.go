@@ -1,0 +1,121 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"crossbfs/internal/xrand"
+)
+
+// syntheticCorpus builds samples whose best M is a smooth function of
+// the features, so CV scores are meaningful.
+func syntheticCorpus(n int, noise float64, seed uint64) []Labeled {
+	rng := xrand.New(seed)
+	out := make([]Labeled, n)
+	for i := range out {
+		v := math.Pow(2, 10+6*rng.Float64())
+		e := v * (8 + 24*rng.Float64())
+		bw := 30 + 160*rng.Float64()
+		m := 5 + bw/4 + noise*rng.NormFloat64()
+		if m < 1 {
+			m = 1
+		}
+		out[i] = Labeled{
+			Sample: Sample{
+				Graph: GraphInfo{NumVertices: v, NumEdges: e, A: 0.57, B: 0.19, C: 0.19, D: 0.05},
+				TD:    ArchInfo{PeakGflops: 256, L1KB: 32, BandwidthGBs: bw},
+				BU:    ArchInfo{PeakGflops: 3950, L1KB: 64, BandwidthGBs: 188},
+			},
+			Best: SwitchPoint{M: m, N: m * 1.5},
+		}
+	}
+	return out
+}
+
+func TestCrossValidateScoresFinite(t *testing.T) {
+	samples := syntheticCorpus(40, 0.5, 1)
+	rmse, err := CrossValidate(samples, TrainOptions{C: 64, Gamma: 1, Epsilon: 0.05}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse <= 0 || math.IsInf(rmse, 0) || math.IsNaN(rmse) {
+		t.Errorf("RMSE = %g", rmse)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	samples := syntheticCorpus(30, 0.3, 2)
+	a, err := CrossValidate(samples, TrainOptions{C: 16, Gamma: 1, Epsilon: 0.05}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(samples, TrainOptions{C: 16, Gamma: 1, Epsilon: 0.05}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("CV not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestCrossValidateInputChecks(t *testing.T) {
+	samples := syntheticCorpus(10, 0.3, 3)
+	if _, err := CrossValidate(samples, TrainOptions{}, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(samples[:3], TrainOptions{}, 4, 1); err == nil {
+		t.Error("too-few samples accepted")
+	}
+}
+
+func TestSelectModelPicksReasonableGridPoint(t *testing.T) {
+	samples := syntheticCorpus(48, 0.4, 4)
+	model, best, results, err := SelectModel(samples, nil, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+	if len(results) != len(DefaultGrid()) {
+		t.Errorf("%d grid results, want %d", len(results), len(DefaultGrid()))
+	}
+	// The winner must have the minimum RMSE of the grid.
+	for _, r := range results {
+		if r.RMSE < best.RMSE {
+			t.Errorf("winner RMSE %g beaten by grid point %g", best.RMSE, r.RMSE)
+		}
+	}
+	// The selected model should fit training data reasonably: within
+	// a factor 2 on most samples.
+	bad := 0
+	for _, s := range samples {
+		p := model.Predict(s.Sample)
+		if p.M > s.Best.M*2 || p.M < s.Best.M/2 {
+			bad++
+		}
+	}
+	if bad > len(samples)/4 {
+		t.Errorf("%d/%d training predictions off by more than 2x", bad, len(samples))
+	}
+}
+
+func TestSelectModelBeatsWorstGridPoint(t *testing.T) {
+	// CV model selection must not pick a grid point that is clearly
+	// dominated: the chosen RMSE should be at most the median of the
+	// grid's RMSEs.
+	samples := syntheticCorpus(48, 0.4, 5)
+	_, best, results, err := SelectModel(samples, nil, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for _, r := range results {
+		if r.RMSE > best.RMSE {
+			worse++
+		}
+	}
+	if worse < len(results)/2 {
+		t.Errorf("selected point beats only %d/%d grid points", worse, len(results))
+	}
+}

@@ -1,0 +1,120 @@
+// Package tuner implements the paper's adaptive switching-point
+// method (§III): label the best (M, N) per (graph, architecture pair)
+// by exhaustive search over the simulator (the off-line half of
+// Fig. 6), encode samples as the 12-feature vectors of Fig. 7, train
+// an SVM regression model, and predict switching points for new
+// traversals at runtime (the on-line half).
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+// GraphInfo is the graph half of a training sample (Fig. 7: V, E, A,
+// B, C, D).
+type GraphInfo struct {
+	NumVertices float64
+	NumEdges    float64 // directed adjacency entries of the built CSR
+	A, B, C, D  float64 // Kronecker construction parameters
+}
+
+// GraphInfoFor derives the feature block from generation parameters
+// and the built graph.
+func GraphInfoFor(p rmat.Params, g *graph.CSR) GraphInfo {
+	return GraphInfo{
+		NumVertices: float64(g.NumVertices()),
+		NumEdges:    float64(g.NumEdges()),
+		A:           p.A, B: p.B, C: p.C, D: p.D,
+	}
+}
+
+// ArchInfo is one architecture block of a training sample (Fig. 7:
+// peak performance P, L1 cache size, memory bandwidth B).
+type ArchInfo struct {
+	PeakGflops   float64
+	L1KB         float64
+	BandwidthGBs float64
+}
+
+// ArchInfoOf extracts the paper's three architecture features.
+func ArchInfoOf(a archsim.Arch) ArchInfo {
+	return ArchInfo{
+		PeakGflops:   a.PeakSPGflops,
+		L1KB:         a.L1KB,
+		BandwidthGBs: a.MeasuredBW,
+	}
+}
+
+// Sample is one (graph, top-down architecture, bottom-up architecture)
+// observation, the unit of Fig. 7.
+type Sample struct {
+	Graph GraphInfo
+	TD    ArchInfo // platform running top-down steps
+	BU    ArchInfo // platform running bottom-up steps
+}
+
+// NumFeatures is the width of the encoded sample vector.
+const NumFeatures = 12
+
+// Vector encodes the sample in the paper's Fig. 7 layout:
+// [V, E, A, B, C, D, P1, L1, B1, P2, L2, B2].
+func (s Sample) Vector() []float64 {
+	return []float64{
+		s.Graph.NumVertices, s.Graph.NumEdges,
+		s.Graph.A, s.Graph.B, s.Graph.C, s.Graph.D,
+		s.TD.PeakGflops, s.TD.L1KB, s.TD.BandwidthGBs,
+		s.BU.PeakGflops, s.BU.L1KB, s.BU.BandwidthGBs,
+	}
+}
+
+// SwitchPoint is a candidate (M, N) pair for the Fig. 4 rule.
+type SwitchPoint struct {
+	M, N float64
+}
+
+func (p SwitchPoint) String() string { return fmt.Sprintf("(M=%g, N=%g)", p.M, p.N) }
+
+// Labeled is a sample with its exhaustively determined best switching
+// point — one row of the paper's training set.
+type Labeled struct {
+	Sample
+	Best SwitchPoint
+}
+
+// CandidateGrid enumerates nM x nN switching points with M in
+// [1, maxM] and N in [1, maxN], geometrically spaced — the paper
+// searches M in [1, 300] (Table III) and picks from 1000 candidates
+// (Fig. 8), which a 40x25 grid reproduces. Geometric spacing matches
+// the threshold's 1/M semantics: what matters is the ratio.
+func CandidateGrid(nM, nN int, maxM, maxN float64) []SwitchPoint {
+	ms := geomSpace(1, maxM, nM)
+	ns := geomSpace(1, maxN, nN)
+	grid := make([]SwitchPoint, 0, len(ms)*len(ns))
+	for _, m := range ms {
+		for _, n := range ns {
+			grid = append(grid, SwitchPoint{M: m, N: n})
+		}
+	}
+	return grid
+}
+
+// DefaultCandidates is the 1000-point grid used by the Fig. 8
+// experiments (40 M values x 25 N values over [1, 300] x [1, 300]).
+func DefaultCandidates() []SwitchPoint { return CandidateGrid(40, 25, 300, 300) }
+
+func geomSpace(lo, hi float64, n int) []float64 {
+	if n <= 1 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package tuner
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"crossbfs/internal/svm"
+)
+
+// Model is the trained switching-point predictor: two SVR regressors
+// (one for M, one for N) over min-max-scaled Fig. 7 feature vectors.
+// Targets are predicted in log space — the (M, N) thresholds act
+// through 1/M and 1/N, so ratios, not differences, are what the model
+// must capture.
+type Model struct {
+	MModel *svm.SVR
+	NModel *svm.SVR
+	Scaler *svm.Scaler
+	// MaxM/MaxN clamp predictions to the candidate range used in
+	// training; extrapolated switching points outside it are never
+	// better than the boundary.
+	MaxM, MaxN float64
+}
+
+// TrainOptions configure model fitting.
+type TrainOptions struct {
+	// SVR hyperparameters; zero values select the defaults below,
+	// chosen for ~100-200 samples of 12 scaled features.
+	C       float64
+	Epsilon float64
+	Gamma   float64
+}
+
+func (o *TrainOptions) setDefaults() {
+	if o.C <= 0 {
+		o.C = 64
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 1.0
+	}
+}
+
+// Train fits the predictor on labelled samples (Fig. 6, training
+// stage).
+func Train(samples []Labeled, opts TrainOptions) (*Model, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("tuner: need at least 2 samples, got %d", len(samples))
+	}
+	opts.setDefaults()
+
+	raw := make([][]float64, len(samples))
+	logM := make([]float64, len(samples))
+	logN := make([]float64, len(samples))
+	maxM, maxN := 1.0, 1.0
+	for i, s := range samples {
+		if s.Best.M <= 0 || s.Best.N <= 0 {
+			return nil, fmt.Errorf("tuner: sample %d has non-positive label %v", i, s.Best)
+		}
+		raw[i] = s.Vector()
+		logM[i] = math.Log(s.Best.M)
+		logN[i] = math.Log(s.Best.N)
+		maxM = math.Max(maxM, s.Best.M)
+		maxN = math.Max(maxN, s.Best.N)
+	}
+
+	scaler, err := svm.FitScaler(raw)
+	if err != nil {
+		return nil, err
+	}
+	X := scaler.TransformAll(raw)
+
+	params := svm.SVRParams{
+		Kernel:  svm.RBF{Gamma: opts.Gamma},
+		C:       opts.C,
+		Epsilon: opts.Epsilon,
+	}
+	mModel, err := svm.TrainSVR(X, logM, params)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: training M model: %w", err)
+	}
+	nModel, err := svm.TrainSVR(X, logN, params)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: training N model: %w", err)
+	}
+	return &Model{MModel: mModel, NModel: nModel, Scaler: scaler, MaxM: maxM, MaxN: maxN}, nil
+}
+
+// Predict returns the switching point for a new traversal (Fig. 6,
+// on-line stage). Its cost is two kernel expansions over at most the
+// training-set size — the "<0.1% of BFS execution time" the paper
+// reports.
+func (m *Model) Predict(s Sample) SwitchPoint {
+	x := m.Scaler.Transform(s.Vector())
+	p := SwitchPoint{
+		M: math.Exp(m.MModel.Predict(x)),
+		N: math.Exp(m.NModel.Predict(x)),
+	}
+	p.M = clamp(p.M, 1, m.MaxM)
+	p.N = clamp(p.N, 1, m.MaxN)
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func init() {
+	// Kernel implementations crossing the gob boundary.
+	gob.Register(svm.Linear{})
+	gob.Register(svm.RBF{})
+}
+
+// Save writes the model to path with encoding/gob.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return fmt.Errorf("tuner: encoding model: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model written by Save.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m Model
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("tuner: decoding model: %w", err)
+	}
+	if m.MModel == nil || m.NModel == nil || m.Scaler == nil {
+		return nil, errors.New("tuner: model file incomplete")
+	}
+	return &m, nil
+}

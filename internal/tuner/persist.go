@@ -1,0 +1,52 @@
+package tuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Corpus persistence: labelling a corpus costs graph generation and
+// traces; the labelled samples themselves are tiny. Saving them as
+// JSON lets hyperparameter sweeps and retraining reuse one labelling
+// pass (and makes the training set inspectable).
+
+// SaveCorpus writes labelled samples as JSON to path.
+func SaveCorpus(samples []Labeled, path string) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("tuner: refusing to save empty corpus")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(samples); err != nil {
+		f.Close()
+		return fmt.Errorf("tuner: encoding corpus: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads samples written by SaveCorpus.
+func LoadCorpus(path string) ([]Labeled, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var samples []Labeled
+	if err := json.NewDecoder(f).Decode(&samples); err != nil {
+		return nil, fmt.Errorf("tuner: decoding corpus: %w", err)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("tuner: corpus file %s is empty", path)
+	}
+	for i, s := range samples {
+		if s.Best.M <= 0 || s.Best.N <= 0 {
+			return nil, fmt.Errorf("tuner: corpus sample %d has invalid label %v", i, s.Best)
+		}
+	}
+	return samples, nil
+}

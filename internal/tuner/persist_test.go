@@ -1,0 +1,72 @@
+package tuner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCorpusSaveLoad(t *testing.T) {
+	samples := []Labeled{
+		{
+			Sample: Sample{
+				Graph: GraphInfo{NumVertices: 1024, NumEdges: 16384, A: 0.57, B: 0.19, C: 0.19, D: 0.05},
+				TD:    ArchInfo{PeakGflops: 256, L1KB: 32, BandwidthGBs: 34},
+				BU:    ArchInfo{PeakGflops: 3950, L1KB: 64, BandwidthGBs: 188},
+			},
+			Best: SwitchPoint{M: 17.5, N: 12.25},
+		},
+		{
+			Sample: Sample{Graph: GraphInfo{NumVertices: 2048, NumEdges: 32768}},
+			Best:   SwitchPoint{M: 30, N: 8},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := SaveCorpus(samples, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d samples", len(loaded))
+	}
+	if loaded[0] != samples[0] || loaded[1] != samples[1] {
+		t.Errorf("round trip changed samples:\n%+v\nvs\n%+v", loaded, samples)
+	}
+}
+
+func TestSaveCorpusEmpty(t *testing.T) {
+	if err := SaveCorpus(nil, filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("empty corpus saved")
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCorpus(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(empty); err == nil {
+		t.Error("empty corpus file accepted")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`[{"Best":{"M":0,"N":1}}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(invalid); err == nil {
+		t.Error("non-positive label accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package tuner
+
+import (
+	"errors"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/xrand"
+)
+
+// StrategyTimes compares the four switching-point selection strategies
+// of the paper's Fig. 8 on one traversal: pick randomly, take the
+// average over all candidates, predict with the regression model, or
+// search exhaustively (the theoretical best). Worst anchors the
+// speedup axis, as in the figure.
+type StrategyTimes struct {
+	Random     float64
+	Average    float64
+	Regression float64
+	Exhaustive float64
+	Worst      float64
+	// Predicted is the switching point the model chose.
+	Predicted SwitchPoint
+}
+
+// SpeedupOverWorst returns each strategy's speedup relative to the
+// worst candidate, the paper's vertical axis in Fig. 8.
+func (s StrategyTimes) SpeedupOverWorst() (random, average, regression, exhaustive float64) {
+	return s.Worst / s.Random, s.Worst / s.Average, s.Worst / s.Regression, s.Worst / s.Exhaustive
+}
+
+// RegressionQuality returns exhaustive/regression performance — the
+// paper reports >= 95% with 140 samples.
+func (s StrategyTimes) RegressionQuality() float64 {
+	if s.Regression == 0 {
+		return 0
+	}
+	return s.Exhaustive / s.Regression
+}
+
+// CompareStrategies prices all four strategies on one traversal and
+// architecture pair.
+func CompareStrategies(tr *bfs.Trace, td, bu archsim.Arch, link archsim.Link,
+	candidates []SwitchPoint, model *Model, gi GraphInfo, rng *xrand.Rand) (StrategyTimes, error) {
+
+	if model == nil {
+		return StrategyTimes{}, errors.New("tuner: nil model")
+	}
+	eval, err := Evaluate(tr, td, bu, link, candidates)
+	if err != nil {
+		return StrategyTimes{}, err
+	}
+	_, bestTime := eval.Best()
+	_, worstTime := eval.Worst()
+
+	predicted := model.Predict(Sample{Graph: gi, TD: ArchInfoOf(td), BU: ArchInfoOf(bu)})
+
+	return StrategyTimes{
+		Random:     eval.Times[rng.Intn(len(eval.Times))],
+		Average:    eval.MeanTime(),
+		Regression: SwitchTime(tr, td, bu, link, predicted),
+		Exhaustive: bestTime,
+		Worst:      worstTime,
+		Predicted:  predicted,
+	}, nil
+}
