@@ -1,0 +1,36 @@
+# Verification entry points for crossbfs. `make verify` is the gate
+# the repo's CI-equivalent runs: vet, the project's own analyzers, the
+# unit suite, and the race detector over the concurrent core.
+
+GO ?= go
+
+.PHONY: all build test lint race verify fuzz
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs go vet plus crossbfslint, the codebase-specific analyzer
+# suite (sharedwrite, atomicpair, indexarith, grainloop). See
+# internal/lint and the README's "Verification & static analysis".
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/crossbfslint ./...
+
+# race exercises the concurrent kernels and the parallelGrains
+# scheduler under the race detector. bfs and bitmap are the packages
+# with goroutine-shared state; the rest of the tree is serial.
+race:
+	$(GO) test -race ./internal/bfs/... ./internal/bitmap/...
+
+verify: build lint test race
+
+# fuzz gives the heuristic-switch fuzzer a short budget; CI-style
+# smoke, not a soak. Override FUZZTIME for longer runs.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test ./internal/bfs/ -fuzz FuzzHeuristicSwitch -fuzztime $(FUZZTIME)

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnknownAnalyzerExits2(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-c", "nosuch"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer message", errBuf.String())
+	}
+}
+
+func TestBadFlagExits2(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestCleanPackages runs the full suite over the concurrency-critical
+// packages; they carry reviewed annotations and must stay clean. This
+// is the same gate `make verify` applies repo-wide.
+func TestCleanPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-v", "crossbfs/internal/bfs", "crossbfs/internal/bitmap"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no diagnostics, got:\n%s", out.String())
+	}
+}

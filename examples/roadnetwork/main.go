@@ -79,7 +79,7 @@ func main() {
 // shortcuts (highways) to keep it road-like rather than perfectly
 // regular.
 func buildGrid(n int) (*crossbfs.Graph, error) {
-	id := func(r, c int) int32 { return int32(r*n + c) }
+	id := func(r, c int) int32 { return int32(r*n + c) } //lint:narrow-ok example grid side n stays in the hundreds
 	var edges []crossbfs.Edge
 	for r := 0; r < n; r++ {
 		for c := 0; c < n; c++ {
@@ -95,5 +95,5 @@ func buildGrid(n int) (*crossbfs.Graph, error) {
 			}
 		}
 	}
-	return crossbfs.BuildGraph(n*n, edges)
+	return crossbfs.BuildGraph(n*n, edges) //lint:narrow-ok example grid side n stays in the hundreds
 }

@@ -98,7 +98,7 @@ func buildNetwork() (*crossbfs.Graph, error) {
 	var edges []crossbfs.Edge
 	for u := 0; u < numUsers; u++ {
 		community := u / communitySize
-		base := community * communitySize
+		base := community * communitySize //lint:narrow-ok bounded by numUsers, an example-sized constant
 		for f := 0; f < friendsPerUsr; f++ {
 			var v int
 			switch {

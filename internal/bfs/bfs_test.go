@@ -4,8 +4,19 @@ import (
 	"testing"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/invariant"
 	"crossbfs/internal/rmat"
 )
+
+// mustInvariants runs the runtime verification layer over a completed
+// traversal — every kernel test calls it so a silently corrupted
+// parent tree can never pass the suite.
+func mustInvariants(t *testing.T, name string, g *graph.CSR, r *Result) {
+	t.Helper()
+	if err := invariant.Check(g, r.Source, r.Parent, r.Level); err != nil {
+		t.Errorf("%s: invariant violated: %v", name, err)
+	}
+}
 
 // pathGraph returns 0-1-2-...-(n-1).
 func pathGraph(t *testing.T, n int) *graph.CSR {
@@ -192,6 +203,7 @@ func TestKernelsAgreeWithSerial(t *testing.T) {
 			if err := Validate(g, td); err != nil {
 				t.Errorf("%s: top-down invalid: %v", name, err)
 			}
+			mustInvariants(t, name+"/topdown", g, td)
 
 			bu, err := RunBottomUp(g, src, workers)
 			if err != nil {
@@ -201,6 +213,7 @@ func TestKernelsAgreeWithSerial(t *testing.T) {
 			if err := Validate(g, bu); err != nil {
 				t.Errorf("%s: bottom-up invalid: %v", name, err)
 			}
+			mustInvariants(t, name+"/bottomup", g, bu)
 
 			for _, mn := range [][2]float64{{1, 1}, {10, 10}, {64, 64}, {300, 300}, {2, 500}} {
 				hy, err := Hybrid(g, src, mn[0], mn[1], workers)
@@ -211,6 +224,7 @@ func TestKernelsAgreeWithSerial(t *testing.T) {
 				if err := Validate(g, hy); err != nil {
 					t.Errorf("%s: hybrid(%v) invalid: %v", name, mn, err)
 				}
+				mustInvariants(t, name+"/hybrid", g, hy)
 			}
 		}
 	}
@@ -382,6 +396,40 @@ func TestResultCounters(t *testing.T) {
 	if r.VisitedCount != visited || r.TraversedEdges != traversed {
 		t.Errorf("counters: visited %d/%d traversed %d/%d",
 			r.VisitedCount, visited, r.TraversedEdges, traversed)
+	}
+}
+
+// TestRunCheckInvariants exercises the in-traversal verification
+// layer: with CheckInvariants on, every policy and worker count must
+// still complete (the per-step frontier checks hold on correct
+// kernels), and the result must match the serial reference.
+func TestRunCheckInvariants(t *testing.T) {
+	g := testRMAT(t, 10, 16, 9)
+	var src int32
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			src = int32(v)
+			break
+		}
+	}
+	want, err := Serial(g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := map[string]Policy{
+		"topdown":  AlwaysTopDown,
+		"bottomup": AlwaysBottomUp,
+		"mn":       MN{M: 64, N: 64},
+		"alpha":    NewAlphaBeta(0, 0),
+	}
+	for name, p := range policies {
+		for _, workers := range []int{1, 4} {
+			r, err := Run(g, src, Options{Policy: p, Workers: workers, CheckInvariants: true})
+			if err != nil {
+				t.Fatalf("%s/%d workers: %v", name, workers, err)
+			}
+			sameTraversal(t, name+"/checked", want, r)
+		}
 	}
 }
 

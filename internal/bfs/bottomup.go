@@ -34,8 +34,12 @@ func bottomUpLevel(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap,
 			for _, u := range g.Neighbors(int32(v)) {
 				localScans++
 				if front.Get(int(u)) {
-					r.Parent[v] = u
-					r.Level[v] = level
+					// Safe without a claim: v iterates this worker's
+					// [start, end) grain, and parallelGrains hands out
+					// disjoint grains, so exactly one worker ever
+					// writes slot v.
+					r.Parent[v] = u    //lint:shared-ok single writer: v is in this worker's disjoint grain
+					r.Level[v] = level //lint:shared-ok single writer: v is in this worker's disjoint grain
 					next.SetAtomic(v)
 					localFound++
 					break

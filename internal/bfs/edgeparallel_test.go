@@ -34,6 +34,7 @@ func TestEdgeParallelMatchesSerial(t *testing.T) {
 			if err := Validate(g, got); err != nil {
 				t.Errorf("%s/%d workers: invalid: %v", name, workers, err)
 			}
+			mustInvariants(t, name+"/edge-parallel", g, got)
 		}
 	}
 }

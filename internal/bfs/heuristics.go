@@ -46,8 +46,18 @@ func (p *AlphaBeta) Validate() error {
 	return nil
 }
 
-// Choose implements Policy.
+// Choose implements Policy. Non-positive or NaN constants (a policy
+// built without NewAlphaBeta) fall back to Beamer's published values
+// rather than producing a divide-by-zero comparison that freezes the
+// policy in one direction.
 func (p *AlphaBeta) Choose(s StepInfo) Direction {
+	alpha, beta := p.Alpha, p.Beta
+	if !(alpha > 0) { // catches zero, negatives, and NaN
+		alpha = 14
+	}
+	if !(beta > 0) {
+		beta = 24
+	}
 	if !p.bottomUp {
 		// m_u: edges incident to unexplored vertices. StepInfo does
 		// not carry the exact figure; the unexplored share of all
@@ -58,11 +68,11 @@ func (p *AlphaBeta) Choose(s StepInfo) Direction {
 		if s.TotalVertices > 0 {
 			mu *= float64(s.UnvisitedVertices) / float64(s.TotalVertices)
 		}
-		if mf > mu/p.Alpha {
+		if mf > mu/alpha {
 			p.bottomUp = true
 		}
 	} else {
-		if float64(s.FrontierVertices) < float64(s.TotalVertices)/p.Beta {
+		if float64(s.FrontierVertices) < float64(s.TotalVertices)/beta {
 			p.bottomUp = false
 		}
 	}
@@ -89,9 +99,15 @@ type HongHybrid struct {
 // published threshold.
 func NewHongHybrid() *HongHybrid { return &HongHybrid{Threshold: 0.03} }
 
-// Choose implements Policy.
+// Choose implements Policy. A non-positive or NaN threshold (a
+// zero-value policy built without NewHongHybrid) falls back to the
+// published 3% rather than switching on the very first frontier.
 func (p *HongHybrid) Choose(s StepInfo) Direction {
-	if !p.switched && float64(s.FrontierVertices) >= p.Threshold*float64(s.TotalVertices) {
+	threshold := p.Threshold
+	if !(threshold > 0) { // catches zero, negatives, and NaN
+		threshold = 0.03
+	}
+	if !p.switched && float64(s.FrontierVertices) >= threshold*float64(s.TotalVertices) {
 		p.switched = true
 	}
 	if p.switched {

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"math"
 	"testing"
 )
 
@@ -107,5 +108,68 @@ func TestHongHybridTraversalCorrect(t *testing.T) {
 	sameTraversal(t, "hong", want, got)
 	if err := Validate(g, got); err != nil {
 		t.Errorf("hong traversal invalid: %v", err)
+	}
+}
+
+// Regression: non-positive (or NaN) policy parameters must fall back
+// to the published constants instead of the divide-by-zero behaviour
+// that silently froze the policy in one direction. Before the fix,
+// MN{M: 0}.Choose produced |E|/0 = +Inf thresholds: bottom-up was
+// unreachable, and the simulator's policy replay (which calls Choose
+// directly, bypassing Run's Validate) priced a pure top-down traversal
+// while claiming a hybrid.
+func TestDegenerateParametersFallBack(t *testing.T) {
+	nan := math.NaN()
+
+	// A frontier large enough that the default (64, 64) rule says
+	// bottom-up: |V|cq = 1000 >= 10000/64.
+	big := StepInfo{
+		Step: 3, FrontierVertices: 1000, FrontierEdges: 50000,
+		UnvisitedVertices: 5000, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	want := MN{M: DefaultM, N: DefaultN}.Choose(big)
+	if want != BottomUp {
+		t.Fatalf("test premise: default rule on big frontier = %s, want BU", want)
+	}
+	for _, p := range []MN{{}, {M: 0, N: 64}, {M: 64, N: 0}, {M: -5, N: -5}, {M: nan, N: nan}} {
+		if d := p.Choose(big); d != want {
+			t.Errorf("MN{%g,%g}.Choose = %s, want %s (default fallback)", p.M, p.N, d, want)
+		}
+	}
+
+	// Zero-value AlphaBeta (built without NewAlphaBeta) must behave
+	// like Beamer's constants, not freeze top-down forever.
+	var ab AlphaBeta
+	ref := NewAlphaBeta(0, 0)
+	huge := StepInfo{
+		Step: 3, FrontierVertices: 3000, FrontierEdges: 50000,
+		UnvisitedVertices: 5000, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if got, want := ab.Choose(huge), ref.Choose(huge); got != want {
+		t.Errorf("zero-value AlphaBeta.Choose = %s, want %s", got, want)
+	}
+
+	// Zero-value HongHybrid must use the 3%% threshold, not switch to
+	// bottom-up on the first single-vertex frontier.
+	var hh HongHybrid
+	tiny := StepInfo{
+		Step: 1, FrontierVertices: 1, FrontierEdges: 8,
+		UnvisitedVertices: 9999, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := hh.Choose(tiny); d != TopDown {
+		t.Errorf("zero-value HongHybrid switched on a single-vertex frontier")
+	}
+	over := StepInfo{
+		Step: 4, FrontierVertices: 400, FrontierEdges: 6400,
+		UnvisitedVertices: 9000, TotalVertices: 10000, TotalEdges: 160000,
+	}
+	if d := hh.Choose(over); d != BottomUp {
+		t.Errorf("zero-value HongHybrid did not switch above 3%% of |V|")
+	}
+
+	// Run still rejects an unusable MN policy up front: the fallback
+	// is for direct Choose callers, not a license for bad config.
+	if _, err := Run(pathGraph(t, 3), 0, Options{Policy: MN{M: -1, N: -1}}); err == nil {
+		t.Error("Run accepted negative MN policy")
 	}
 }

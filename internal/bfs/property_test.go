@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/invariant"
 	"crossbfs/internal/xrand"
 )
 
@@ -60,6 +61,9 @@ func TestPropertyAllEnginesAgree(t *testing.T) {
 				return false
 			}
 			if Validate(g, got) != nil {
+				return false
+			}
+			if invariant.Check(g, got.Source, got.Parent, got.Level) != nil {
 				return false
 			}
 			for v := range want.Level {

@@ -6,6 +6,7 @@ import (
 
 	"crossbfs/internal/bitmap"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/invariant"
 )
 
 // StepInfo is what a switching policy sees before each expansion step:
@@ -44,15 +45,40 @@ var (
 	AlwaysBottomUp Policy = PolicyFunc(func(StepInfo) Direction { return BottomUp })
 )
 
+// DefaultM and DefaultN are the fallback switching thresholds: the
+// repo-wide tuned defaults used by the cmd tools and experiments.
+const (
+	DefaultM = 64
+	DefaultN = 64
+)
+
 // MN is the paper's switching rule (Fig. 4): run bottom-up when
 // |E|cq >= |E|/M or |V|cq >= |V|/N, top-down otherwise. Larger M or N
-// switches to bottom-up earlier. Both must be positive.
+// switches to bottom-up earlier. Both must be positive; a
+// non-positive or NaN threshold makes Choose fall back to the
+// DefaultM/DefaultN constants (Run still rejects such a policy up
+// front via Validate — the fallback exists for direct Choose callers
+// like the simulator's policy replay, where a degenerate M would
+// otherwise silently disable bottom-up through a division by zero).
 type MN struct {
 	M, N float64
 }
 
+// normalized returns p with non-positive or NaN thresholds replaced
+// by the defaults, giving Choose defined behaviour on any input.
+func (p MN) normalized() MN {
+	if !(p.M > 0) { // catches zero, negatives, and NaN
+		p.M = DefaultM
+	}
+	if !(p.N > 0) {
+		p.N = DefaultN
+	}
+	return p
+}
+
 // Choose implements Policy.
 func (p MN) Choose(s StepInfo) Direction {
+	p = p.normalized()
 	if float64(s.FrontierEdges) >= float64(s.TotalEdges)/p.M ||
 		float64(s.FrontierVertices) >= float64(s.TotalVertices)/p.N {
 		return BottomUp
@@ -60,9 +86,11 @@ func (p MN) Choose(s StepInfo) Direction {
 	return TopDown
 }
 
-// Validate reports whether the thresholds are usable.
+// Validate reports whether the thresholds are usable. The comparisons
+// are written so NaN fails them too — FuzzHeuristicSwitch caught that
+// `p.M <= 0` lets NaN through.
 func (p MN) Validate() error {
-	if p.M <= 0 || p.N <= 0 {
+	if !(p.M > 0) || !(p.N > 0) {
 		return fmt.Errorf("bfs: MN policy requires positive M and N, got (%g, %g)", p.M, p.N)
 	}
 	return nil
@@ -75,6 +103,13 @@ type Options struct {
 	// Workers is the parallelism level; 0 means GOMAXPROCS, 1 forces
 	// the serial kernels.
 	Workers int
+	// CheckInvariants enables the runtime verification layer
+	// (internal/invariant): per-step frontier/visited coherence checks
+	// and a post-traversal parent-tree + level-monotonicity check.
+	// A violation aborts the traversal with an error. Costs O(V/64)
+	// per step plus O(V+E) once; the test suites keep it on, and
+	// production callers can enable it to fence suspected races.
+	CheckInvariants bool
 }
 
 // Run executes a level-synchronized BFS from source, choosing the
@@ -136,8 +171,20 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 				}
 				queueValid = false
 			}
+			if opts.CheckInvariants {
+				if err := invariant.FrontierSubset(front, visited); err != nil {
+					return nil, fmt.Errorf("bfs: step %d: %w", level, err)
+				}
+			}
 			next.Reset()
 			foundCount, scanCount = bottomUpLevel(g, r, visited, front, next, level, opts.Workers)
+			if opts.CheckInvariants {
+				// Before the merge: a bottom-up step must only have
+				// discovered vertices that were still unvisited.
+				if err := invariant.NextDisjoint(next, visited); err != nil {
+					return nil, fmt.Errorf("bfs: step %d: %w", level, err)
+				}
+			}
 			visited.Or(next)
 			front, next = next, front
 		default:
@@ -151,6 +198,11 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 		level++
 	}
 
+	if opts.CheckInvariants {
+		if err := invariant.Check(g, source, r.Parent, r.Level); err != nil {
+			return nil, fmt.Errorf("bfs: post-traversal: %w", err)
+		}
+	}
 	r.finish(g)
 	return r, nil
 }

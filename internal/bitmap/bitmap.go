@@ -44,12 +44,12 @@ func (b *Bitmap) Get(i int) bool {
 // Set sets bit i. Not safe for concurrent use with other writers; use
 // SetAtomic in parallel sections.
 func (b *Bitmap) Set(i int) {
-	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits) //lint:shared-ok serial-phase API by contract; parallel sections use SetAtomic
 }
 
-// Clear clears bit i.
+// Clear clears bit i. Like Set, it is a serial-phase operation.
 func (b *Bitmap) Clear(i int) {
-	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits) //lint:shared-ok serial-phase API by contract; parallel sections use SetAtomic
 }
 
 // SetAtomic sets bit i with a CAS loop and reports whether this call
@@ -73,10 +73,11 @@ func (b *Bitmap) GetAtomic(i int) bool {
 	return atomic.LoadUint64(&b.words[i/wordBits])&(1<<(uint(i)%wordBits)) != 0
 }
 
-// Reset clears every bit.
+// Reset clears every bit. Serial-phase only: the BFS runner resets
+// scratch bitmaps between level expansions, never during one.
 func (b *Bitmap) Reset() {
 	for i := range b.words {
-		b.words[i] = 0
+		b.words[i] = 0 //lint:shared-ok serial-phase API by contract; no workers run between levels
 	}
 }
 
@@ -115,7 +116,7 @@ func (b *Bitmap) Or(src *Bitmap) {
 		panic("bitmap: Or length mismatch")
 	}
 	for i, w := range src.words {
-		b.words[i] |= w
+		b.words[i] |= w //lint:shared-ok serial-phase API by contract; no workers run between levels
 	}
 }
 

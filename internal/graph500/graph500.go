@@ -13,6 +13,7 @@ import (
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/core"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/invariant"
 	"crossbfs/internal/rmat"
 	"crossbfs/internal/xmath"
 	"crossbfs/internal/xrand"
@@ -76,6 +77,9 @@ func Run(g *graph.CSR, plan core.Plan, link archsim.Link, numRoots int, seed uin
 		}
 		if err := bfs.Validate(g, r); err != nil {
 			return nil, fmt.Errorf("graph500: root %d failed validation: %w", root, err)
+		}
+		if err := invariant.Check(g, root, r.Parent, r.Level); err != nil {
+			return nil, fmt.Errorf("graph500: root %d: %w", root, err)
 		}
 		tr, err := bfs.ComputeTrace(g, r)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/core"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/invariant"
 	"crossbfs/internal/rmat"
 )
 
@@ -98,6 +99,27 @@ func TestRunAggregates(t *testing.T) {
 	}
 	if res.Plan != "CPUCB" {
 		t.Errorf("plan name %q", res.Plan)
+	}
+}
+
+// TestTraversalInvariantsPerRoot drives the actual parallel hybrid
+// kernels (not the serial reference graph500.Run prices with) over
+// sampled search keys and checks the verification layer after every
+// traversal — the Graph 500 suite's end of the ISSUE's "invariant
+// checks run inside the bfs and graph500 test suites" contract.
+func TestTraversalInvariantsPerRoot(t *testing.T) {
+	g := testGraph(t, 10, 16)
+	for _, root := range SampleRoots(g, 8, 3) {
+		r, err := bfs.Run(g, root, bfs.Options{
+			Policy:          bfs.MN{M: 64, N: 64},
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		if err := invariant.Check(g, root, r.Parent, r.Level); err != nil {
+			t.Errorf("root %d: %v", root, err)
+		}
 	}
 }
 

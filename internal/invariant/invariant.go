@@ -1,0 +1,164 @@
+// Package invariant is the runtime half of the BFS verification
+// layer: cheap structural checks that a traversal — or one step of a
+// traversal — did not violate the properties the concurrent kernels
+// are trusted to preserve.
+//
+// The static analyzers (internal/lint) prove the synchronization
+// *discipline* is followed; this package checks the *outcome*. The
+// two overlap deliberately: a race the analyzers were annotated past
+// (a wrong //lint:shared-ok) still corrupts a parent tree, and these
+// checks catch it in every test run. The checks take raw parent/level
+// slices rather than a bfs.Result so the bfs package's own internal
+// tests can call them without an import cycle.
+//
+// Cost: the per-traversal checks are O(V+E); the per-step bitmap
+// checks are O(V/64). They run inside the bfs and graph500 test
+// suites after every traversal, and inside bfs.Run itself when
+// Options.CheckInvariants is set.
+package invariant
+
+import (
+	"fmt"
+
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// notVisited mirrors bfs.NotVisited without importing bfs.
+const notVisited int32 = -1
+
+// ParentTree checks that (parent, level) encode a valid BFS tree of g
+// rooted at source:
+//
+//  1. the source is its own parent at level 0;
+//  2. parent and level agree on which vertices are visited;
+//  3. every visited non-source vertex has a visited parent exactly one
+//     level closer, joined by a real edge of g.
+//
+// A data race in a kernel shows up here as a vertex whose parent is
+// not one level closer (two workers wrote different levels) or whose
+// claimed tree edge does not exist (torn parent/level pair).
+func ParentTree(g *graph.CSR, source int32, parent, level []int32) error {
+	n := g.NumVertices()
+	if len(parent) != n || len(level) != n {
+		return fmt.Errorf("invariant: parent/level sized %d/%d, graph has %d vertices",
+			len(parent), len(level), n)
+	}
+	if source < 0 || int(source) >= n {
+		return fmt.Errorf("invariant: source %d out of range [0,%d)", source, n)
+	}
+	if parent[source] != source {
+		return fmt.Errorf("invariant: source %d is not its own parent (parent=%d)", source, parent[source])
+	}
+	if level[source] != 0 {
+		return fmt.Errorf("invariant: source level = %d, want 0", level[source])
+	}
+	for v := int32(0); v < int32(n); v++ {
+		p, l := parent[v], level[v]
+		if (p == notVisited) != (l == notVisited) {
+			return fmt.Errorf("invariant: vertex %d: parent=%d but level=%d disagree on visitedness", v, p, l)
+		}
+		if p == notVisited || v == source {
+			continue
+		}
+		if p < 0 || int(p) >= n {
+			return fmt.Errorf("invariant: vertex %d has out-of-range parent %d", v, p)
+		}
+		if level[p] == notVisited {
+			return fmt.Errorf("invariant: vertex %d has unvisited parent %d", v, p)
+		}
+		if level[p]+1 != l {
+			return fmt.Errorf("invariant: vertex %d at level %d, but parent %d at level %d", v, l, p, level[p])
+		}
+	}
+	// Tree edges must exist in g. One O(V+E) scan, independent of
+	// adjacency ordering.
+	seen := make([]bool, n)
+	for u := int32(0); u < int32(n); u++ {
+		for _, v := range g.Neighbors(u) {
+			if parent[v] == u {
+				seen[v] = true
+			}
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if v != source && level[v] != notVisited && !seen[v] {
+			return fmt.Errorf("invariant: claimed tree edge (%d,%d) not in graph", parent[v], v)
+		}
+	}
+	return nil
+}
+
+// LevelMonotone checks the level map's structural monotonicity: BFS
+// levels across any edge differ by at most one, and no edge joins a
+// visited and an unvisited vertex (the visited set is closed, i.e.
+// exactly the source's component). A kernel that drops a frontier
+// vertex — say a stale bitmap word hid it — leaves an unvisited
+// vertex adjacent to a visited one, which this check exposes.
+func LevelMonotone(g *graph.CSR, level []int32) error {
+	n := g.NumVertices()
+	if len(level) != n {
+		return fmt.Errorf("invariant: level sized %d, graph has %d vertices", len(level), n)
+	}
+	for u := int32(0); u < int32(n); u++ {
+		lu := level[u]
+		for _, v := range g.Neighbors(u) {
+			lv := level[v]
+			if (lu == notVisited) != (lv == notVisited) {
+				return fmt.Errorf("invariant: edge (%d,%d) joins visited and unvisited", u, v)
+			}
+			if lu == notVisited {
+				continue
+			}
+			if d := lu - lv; d > 1 || d < -1 {
+				return fmt.Errorf("invariant: edge (%d,%d) spans levels %d and %d", u, v, lu, lv)
+			}
+		}
+	}
+	return nil
+}
+
+// FrontierSubset checks that every frontier vertex is visited — the
+// frontier is, by construction, the most recently visited level, so a
+// frontier bit without a visited bit means a kernel published a vertex
+// into the frontier before (or without) claiming it.
+func FrontierSubset(front, visited *bitmap.Bitmap) error {
+	if front.Len() != visited.Len() {
+		return fmt.Errorf("invariant: frontier length %d != visited length %d", front.Len(), visited.Len())
+	}
+	fw, vw := front.Words(), visited.Words()
+	for i := range fw {
+		if stray := fw[i] &^ vw[i]; stray != 0 {
+			return fmt.Errorf("invariant: frontier contains unvisited vertices (word %d, bits %#x)", i, stray)
+		}
+	}
+	return nil
+}
+
+// NextDisjoint checks that a newly discovered frontier is disjoint
+// from the visited set before it is merged: a bottom-up step only
+// adopts parents for unvisited vertices, so any overlap means two
+// steps claimed the same vertex — the re-visit bug that assigns a
+// vertex two different levels.
+func NextDisjoint(next, visited *bitmap.Bitmap) error {
+	if next.Len() != visited.Len() {
+		return fmt.Errorf("invariant: next length %d != visited length %d", next.Len(), visited.Len())
+	}
+	nw, vw := next.Words(), visited.Words()
+	for i := range nw {
+		if dup := nw[i] & vw[i]; dup != 0 {
+			return fmt.Errorf("invariant: next frontier re-visits visited vertices (word %d, bits %#x)", i, dup)
+		}
+	}
+	return nil
+}
+
+// Check runs the full post-traversal verification: parent-tree
+// validity plus level monotonicity. It is what the test suites call
+// after every traversal.
+func Check(g *graph.CSR, source int32, parent, level []int32) error {
+	if err := ParentTree(g, source, parent, level); err != nil {
+		return err
+	}
+	return LevelMonotone(g, level)
+}

@@ -1,0 +1,136 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"crossbfs/internal/bitmap"
+	"crossbfs/internal/graph"
+)
+
+// path builds the path graph 0-1-2-...-n-1.
+func path(t *testing.T, n int) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1)})
+	}
+	g, err := graph.Build(n, edges, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// bfsOnPath returns the correct parent/level maps for path(n) from 0.
+func bfsOnPath(n int) (parent, level []int32) {
+	parent = make([]int32, n)
+	level = make([]int32, n)
+	for i := 0; i < n; i++ {
+		parent[i] = int32(i - 1)
+		level[i] = int32(i)
+	}
+	parent[0] = 0
+	return parent, level
+}
+
+func TestParentTreeAcceptsValid(t *testing.T) {
+	g := path(t, 5)
+	parent, level := bfsOnPath(5)
+	if err := Check(g, 0, parent, level); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestParentTreeCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(parent, level []int32)
+		want    string
+	}{
+		{"source not own parent", func(p, l []int32) { p[0] = 1 }, "not its own parent"},
+		{"source wrong level", func(p, l []int32) { l[0] = 1 }, "source level"},
+		{"visitedness disagreement", func(p, l []int32) { p[3] = -1 }, "disagree on visitedness"},
+		{"wrong parent level", func(p, l []int32) { p[4] = 1 }, "parent"},
+		{"out of range parent", func(p, l []int32) { p[2] = 99 }, "out-of-range parent"},
+		{"fake tree edge", func(p, l []int32) { p[4] = 2; l[4] = 3 }, "not in graph"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := path(t, 5)
+			parent, level := bfsOnPath(5)
+			tc.corrupt(parent, level)
+			err := ParentTree(g, 0, parent, level)
+			if err == nil {
+				t.Fatal("corrupted tree accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLevelMonotoneCatchesSkipsAndLeaks(t *testing.T) {
+	g := path(t, 5)
+	_, level := bfsOnPath(5)
+
+	level[3] = 5 // levels 2 and 5 across edge (2,3)
+	if err := LevelMonotone(g, level); err == nil {
+		t.Error("level skip accepted")
+	}
+
+	_, level = bfsOnPath(5)
+	level[4] = notVisited // visited 3 adjacent to unvisited 4
+	if err := LevelMonotone(g, level); err == nil {
+		t.Error("visited/unvisited edge accepted")
+	}
+}
+
+func TestFrontierSubset(t *testing.T) {
+	front, visited := bitmap.New(130), bitmap.New(130)
+	front.Set(7)
+	front.Set(128)
+	visited.Set(7)
+	visited.Set(128)
+	if err := FrontierSubset(front, visited); err != nil {
+		t.Fatalf("valid frontier rejected: %v", err)
+	}
+	front.Set(65) // frontier vertex never visited
+	if err := FrontierSubset(front, visited); err == nil {
+		t.Error("unvisited frontier vertex accepted")
+	}
+}
+
+func TestNextDisjoint(t *testing.T) {
+	next, visited := bitmap.New(130), bitmap.New(130)
+	visited.Set(3)
+	next.Set(4)
+	next.Set(129)
+	if err := NextDisjoint(next, visited); err != nil {
+		t.Fatalf("disjoint next rejected: %v", err)
+	}
+	next.Set(3) // re-visit
+	if err := NextDisjoint(next, visited); err == nil {
+		t.Error("re-visiting next frontier accepted")
+	}
+}
+
+func TestSizeMismatches(t *testing.T) {
+	g := path(t, 4)
+	if err := ParentTree(g, 0, make([]int32, 3), make([]int32, 4)); err == nil {
+		t.Error("short parent slice accepted")
+	}
+	if err := LevelMonotone(g, make([]int32, 5)); err == nil {
+		t.Error("long level slice accepted")
+	}
+	if err := FrontierSubset(bitmap.New(10), bitmap.New(11)); err == nil {
+		t.Error("mismatched bitmap lengths accepted")
+	}
+	if err := NextDisjoint(bitmap.New(10), bitmap.New(11)); err == nil {
+		t.Error("mismatched bitmap lengths accepted")
+	}
+	if err := ParentTree(g, 9, make([]int32, 4), make([]int32, 4)); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package lint implements crossbfslint, a codebase-specific static
+// analysis suite for the concurrent BFS core.
+//
+// The hybrid BFS only beats the single-direction kernels when the
+// concurrent frontier bookkeeping is correct: a stale bitmap read or an
+// unsynchronized parents[] write produces a valid-looking but wrong BFS
+// tree, which then poisons the SVM training labels downstream. The
+// analyzers here machine-check the synchronization discipline the
+// kernels rely on, so perf refactors cannot silently break it.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, the testdata/ `// want` harness) but is
+// reimplemented on the standard library alone — this build environment
+// has no module proxy access, so x/tools cannot be a dependency.
+// Packages are loaded with `go list -export` and type-checked against
+// compiler export data, the same mechanism `go vet` uses.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name is the analyzer identifier used on the command line, in
+	// diagnostics, and in //lint:<name>-ok suppression directives.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	suppress    *suppressions
+}
+
+// Diagnostic is one finding, mirroring analysis.Diagnostic.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Position resolves the diagnostic's file position.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Reportf records a finding at pos unless a //lint:<name>-ok directive
+// on the same line (or the line above) suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppress != nil && p.suppress.matches(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// ObjectOf resolves an identifier to its types.Object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Run applies each analyzer to each loaded package and returns all
+// diagnostics sorted by file position. Suppression directives
+// (//lint:<name>-ok) are honored per package.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				suppress:  sup,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, pass.diagnostics...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,27 @@
+package lint
+
+// All returns the full crossbfslint suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicPair, GrainLoop, IndexArith, SharedWrite}
+}
+
+// ByName returns the named analyzers, or All() for an empty request.
+// Unknown names return nil, false.
+func ByName(names ...string) ([]*Analyzer, bool) {
+	if len(names) == 0 {
+		return All(), true
+	}
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicPair flags mixed atomic/non-atomic access to the same memory:
+// if any site in the package touches a struct field or package-level
+// variable through sync/atomic, every *plain write* to that same field
+// elsewhere in the package is suspect — the Go memory model gives a
+// plain write no ordering against concurrent atomic readers, so the
+// pair is a data race unless some phase discipline keeps them apart.
+//
+// Phase-disciplined mixing is real and sometimes intended (the bitmap
+// package's serial Set vs parallel SetAtomic), which is exactly why it
+// must be annotated: each plain write next to an atomic access needs a
+// //lint:shared-ok stating the phase argument.
+var AtomicPair = &Analyzer{
+	Name: "atomicpair",
+	Doc: "flags non-atomic writes to fields/vars that are accessed atomically elsewhere " +
+		"in the package; annotate the single-writer phase with //lint:shared-ok",
+	Run: runAtomicPair,
+}
+
+// accessKey identifies the storage an access touches: a struct field
+// (named type + field object) or a package-level variable.
+type accessKey struct {
+	obj types.Object // *types.Var: the field or the package-level var
+}
+
+// fieldKeyOf resolves the storage behind an expression of the forms
+// x.f, x.f[i], pkgVar, pkgVar[i] — the shapes sync/atomic operands and
+// assignment targets take in this codebase. Indexing counts as
+// touching the container field: atomics on b.words[i] pair against
+// plain writes to b.words[j].
+func fieldKeyOf(pass *Pass, e ast.Expr) (accessKey, bool) {
+	e = ast.Unparen(e)
+	for {
+		if idx, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(idx.X)
+			continue
+		}
+		break
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return accessKey{obj: sel.Obj()}, true
+		}
+		// Qualified package-level var: pkg.Var.
+		if v, ok := pass.ObjectOf(x.Sel).(*types.Var); ok && !v.IsField() {
+			return accessKey{obj: v}, true
+		}
+	case *ast.Ident:
+		if v, ok := pass.ObjectOf(x).(*types.Var); ok && !v.IsField() && v.Parent() == pass.Pkg.Scope() {
+			return accessKey{obj: v}, true
+		}
+	}
+	return accessKey{}, false
+}
+
+func runAtomicPair(pass *Pass) error {
+	// Pass 1: find storage with atomic access anywhere in the package.
+	atomicSites := make(map[accessKey]token.Pos)
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if arg := atomicCallArg(pass, call); arg != nil {
+			if key, ok := fieldKeyOf(pass, arg); ok {
+				if _, seen := atomicSites[key]; !seen {
+					atomicSites[key] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(atomicSites) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain writes to the same storage. Plain reads get a
+	// pass — single-writer/multi-reader phases are the dominant safe
+	// pattern and flagging reads would bury the signal.
+	flag := func(lhs ast.Expr) {
+		key, ok := fieldKeyOf(pass, lhs)
+		if !ok {
+			return
+		}
+		atomicPos, mixed := atomicSites[key]
+		if !mixed {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"non-atomic write to %q, which is accessed atomically at %s; "+
+				"use sync/atomic here or annotate //lint:shared-ok with the phase argument",
+			key.obj.Name(), pass.Fset.Position(atomicPos))
+	}
+	inspectAll(pass, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(x.X)
+		}
+		return true
+	})
+	return nil
+}

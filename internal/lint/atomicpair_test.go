@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestAtomicPairGolden(t *testing.T) {
+	runGolden(t, AtomicPair, "atomicpair")
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a human assert that a flagged site is
+// safe, with the rationale kept next to the code:
+//
+//	r.Parent[v] = u //lint:shared-ok winner of the SetAtomic claim
+//
+// The directive form is //lint:<tag> where <tag> is an analyzer's
+// suppression tag (e.g. shared-ok for sharedwrite and atomicpair,
+// narrow-ok for indexarith, grain-ok for grainloop). A directive
+// suppresses findings of its analyzers on the directive's own line and
+// on the line directly below it (so it can sit on its own line above a
+// multi-line statement). Everything after the tag is free-form
+// rationale and is ignored by the tool — but reviewers should treat a
+// tag without rationale as a smell.
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:"
+
+// analyzerTags maps each analyzer name to the directive tag that
+// suppresses it. Two analyzers may share a tag: sharedwrite and
+// atomicpair both police shared-memory discipline, so one shared-ok
+// covers whichever fires.
+var analyzerTags = map[string]string{
+	"sharedwrite": "shared-ok",
+	"atomicpair":  "shared-ok",
+	"indexarith":  "narrow-ok",
+	"grainloop":   "grain-ok",
+}
+
+// suppressions indexes directive sites by file and line.
+type suppressions struct {
+	// byFileLine maps filename -> line -> set of suppressed tags.
+	byFileLine map[string]map[int]map[string]bool
+}
+
+// collectSuppressions scans all comments in the files for directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byFileLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				tag := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					tag = rest[:i]
+				}
+				if tag == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s.byFileLine[pos.Filename] = lines
+				}
+				// The directive covers its own line and the next one.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					tags := lines[line]
+					if tags == nil {
+						tags = make(map[string]bool)
+						lines[line] = tags
+					}
+					tags[tag] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// matches reports whether a directive suppresses analyzer findings at
+// the given position.
+func (s *suppressions) matches(analyzer string, pos token.Position) bool {
+	tag, ok := analyzerTags[analyzer]
+	if !ok {
+		return false
+	}
+	lines, ok := s.byFileLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	return lines[pos.Line][tag]
+}

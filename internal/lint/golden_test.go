@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// This file is the suite's analysistest equivalent: golden tests run
+// an analyzer over a testdata package whose sources carry
+// `// want "regexp"` comments on the lines where diagnostics must
+// fire. The test fails on any unmatched expectation and on any
+// unexpected diagnostic, so the golden files pin both the analyzer's
+// hits *and* its silences (the exempt idioms).
+
+// wantRe extracts expectations of the form  // want "regexp"
+// (optionally repeated:  // want "a" "b"  for two diagnostics on one
+// line).
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden loads testdata/src/<sub>, runs the analyzer over it, and
+// checks diagnostics against the // want comments.
+func runGolden(t *testing.T, a *Analyzer, sub string) {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("lint: cannot locate package directory")
+	}
+	pkgDir := filepath.Dir(thisFile)
+	dir := filepath.Join(pkgDir, "testdata", "src", sub)
+	modRoot := filepath.Join(pkgDir, "..", "..")
+
+	pkg, err := LoadDir(modRoot, dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := d.Position(pkg.Fset)
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// parseExpectations scans the package's comments for // want markers.
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment: %s",
+						pkg.Fset.Position(c.Pos()), c.Text)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range args {
+					pattern := arg[1]
+					if pattern == "" {
+						pattern = strings.ReplaceAll(arg[2], `\"`, `"`)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestGrainLoopGolden(t *testing.T) {
+	runGolden(t, GrainLoop, "grainloop")
+}

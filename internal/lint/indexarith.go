@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// IndexArith flags integer arithmetic that overflows at Graph 500
+// scale. An R-MAT scale-32 graph has |V| = 2^32 vertices and tens of
+// billions of directed edges, so:
+//
+//   - narrowing a *computed* value (a sum, product, difference, or
+//     shift) into int32 — or into int, which is 32 bits on 32-bit
+//     targets — truncates real vertex/edge counts: int32(v*degree) is
+//     wrong long before scale 32;
+//   - multiplying two int32 (or narrower) operands overflows in the
+//     narrow type even if the result is immediately widened: the
+//     damage happens before the conversion.
+//
+// Narrowing a plain variable (int32(v) on a loop index) is the
+// codebase's pervasive, bounds-checked idiom and stays exempt; the
+// analyzer targets arithmetic whose intermediate exceeds the narrow
+// range. Sites that are provably in range can be annotated
+// //lint:narrow-ok with the bound.
+var IndexArith = &Analyzer{
+	Name: "indexarith",
+	Doc: "flags int32/int narrowing of computed arithmetic and narrow-typed multiplications " +
+		"that overflow at Graph500-scale |V|/|E|; suppress with //lint:narrow-ok",
+	Run: runIndexArith,
+}
+
+// intWidth returns the conservative bit width of an integer type for
+// overflow purposes: plain int/uint count as 32 because the code must
+// stay correct on 32-bit targets. Non-integer types return 0.
+func intWidth(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32, types.Int, types.Uint, types.Uintptr:
+		return 32
+	case types.Int64, types.Uint64:
+		return 64
+	case types.UntypedInt:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// overflowOps are the arithmetic operators whose result can exceed the
+// operand range. Division and modulo shrink values and are exempt.
+func isOverflowOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.SHL:
+		return true
+	default:
+		return false
+	}
+}
+
+// containsArith reports whether the expression tree contains a
+// growth-capable binary operation.
+func containsArith(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if isOverflowOp(x.Op) {
+				found = true
+			}
+		case *ast.FuncLit:
+			return false // separate scope, separate analysis
+		}
+		return !found
+	})
+	return found
+}
+
+func runIndexArith(pass *Pass) error {
+	// Collect narrow multiplies first, then drop any nested inside
+	// another flagged multiply: a chain a*b*c is one finding at the
+	// outermost product, not one per nested BinaryExpr.
+	var muls []*ast.BinaryExpr
+	inspectAll(pass, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkNarrowingConversion(pass, x)
+		case *ast.BinaryExpr:
+			if isNarrowMultiply(pass, x) {
+				muls = append(muls, x)
+			}
+		}
+		return true
+	})
+	for _, m := range muls {
+		nested := false
+		for _, outer := range muls {
+			if outer != m && m.Pos() >= outer.Pos() && m.End() <= outer.End() {
+				nested = true
+				break
+			}
+		}
+		if nested {
+			continue
+		}
+		w := intWidth(pass.TypeOf(m))
+		pass.Reportf(m.Pos(),
+			"multiplication computed in %d-bit type %s overflows at Graph500-scale operands; "+
+				"widen both operands to int64 first, or annotate //lint:narrow-ok with the bound",
+			w, pass.TypeOf(m).String())
+	}
+	return nil
+}
+
+// checkNarrowingConversion flags T(expr) where T is a narrower integer
+// type than expr's and expr performs growth-capable arithmetic.
+func checkNarrowingConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dstWidth := intWidth(tv.Type)
+	if dstWidth == 0 || dstWidth >= 64 {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	argType := pass.TypeOf(arg)
+	if argType == nil {
+		return
+	}
+	srcWidth := intWidth(argType)
+	if srcWidth == 0 || srcWidth <= dstWidth {
+		return
+	}
+	// A top-level division or modulo bounds the result by the divisor
+	// regardless of inner arithmetic: int((total+block-1)/block) is
+	// the pervasive, safe block-count idiom.
+	if bin, ok := arg.(*ast.BinaryExpr); ok && (bin.Op == token.QUO || bin.Op == token.REM) {
+		return
+	}
+	if !containsArith(arg) {
+		return
+	}
+	// Constant-folded expressions are checked by the compiler itself.
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"narrowing %d-bit arithmetic into %s truncates at Graph500 scale; "+
+			"compute in int64 and bounds-check, or annotate //lint:narrow-ok with the bound",
+		srcWidth, tv.Type.String())
+}
+
+// isNarrowMultiply reports a*b computed in a 32-bit-or-narrower
+// integer type: vertex*degree products overflow the narrow type
+// before any widening conversion can save them. A multiply by a
+// compile-time constant bound (grain sizes, word widths) is the
+// dominant safe pattern and exempt; variable*variable is the
+// vertex*degree shape.
+func isNarrowMultiply(pass *Pass, bin *ast.BinaryExpr) bool {
+	if bin.Op != token.MUL {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[bin]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant expression, compiler-checked
+	}
+	w := intWidth(tv.Type)
+	if w == 0 || w > 32 {
+		return false
+	}
+	return !isConstExpr(pass, bin.X) && !isConstExpr(pass, bin.Y)
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}

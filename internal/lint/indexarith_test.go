@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestIndexArithGolden(t *testing.T) {
+	runGolden(t, IndexArith, "indexarith")
+}

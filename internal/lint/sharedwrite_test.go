@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSharedWriteGolden(t *testing.T) {
+	runGolden(t, SharedWrite, "sharedwrite")
+}

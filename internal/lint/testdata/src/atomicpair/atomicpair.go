@@ -1,0 +1,67 @@
+// Package atomicpair is the golden test for the atomicpair analyzer:
+// storage touched through sync/atomic somewhere must not be written
+// plainly elsewhere without an annotation.
+package atomicpair
+
+import "sync/atomic"
+
+// counters mimics a results struct with an atomically claimed field.
+type counters struct {
+	found   int64
+	scanned int64
+	plain   int64
+}
+
+// claim accesses found atomically — this marks the field.
+func (c *counters) claim(delta int64) int64 {
+	return atomic.AddInt64(&c.found, delta)
+}
+
+// resetBug writes found plainly: racy against claim's AddInt64.
+func (c *counters) resetBug() {
+	c.found = 0 // want `non-atomic write to "found"`
+}
+
+// incrBug mixes access on scanned within a single method.
+func (c *counters) incrBug() {
+	v := atomic.LoadInt64(&c.scanned)
+	c.scanned = v + 1 // want `non-atomic write to "scanned"`
+	c.scanned++       // want `non-atomic write to "scanned"`
+}
+
+// plainOnly never has atomic access: plain writes are fine.
+func (c *counters) plainOnly() {
+	c.plain = 42
+	c.plain++
+}
+
+// words mimics the bitmap: element-level atomics pair against plain
+// element writes.
+type words struct {
+	bits []uint64
+}
+
+func (w *words) setAtomic(i int) bool {
+	return atomic.CompareAndSwapUint64(&w.bits[i/64], 0, 1<<(uint(i)%64))
+}
+
+// orBug plainly mutates an element of the atomically accessed slice.
+func (w *words) orBug(i int, v uint64) {
+	w.bits[i] |= v // want `non-atomic write to "bits"`
+}
+
+// resetAnnotated is the documented single-writer phase: suppressed.
+func (w *words) resetAnnotated() {
+	for i := range w.bits {
+		w.bits[i] = 0 //lint:shared-ok serial phase between traversals, no concurrent readers
+	}
+}
+
+// pkgHits is a package-level var with mixed access.
+var pkgHits uint64
+
+func bumpAtomic() { atomic.AddUint64(&pkgHits, 1) }
+
+func resetPkgBug() {
+	pkgHits = 0 // want `non-atomic write to "pkgHits"`
+}

@@ -1,0 +1,60 @@
+// Package indexarith is the golden test for the indexarith analyzer:
+// Graph500-scale index arithmetic that narrows or overflows.
+package indexarith
+
+// offsets mimics CSR offset bookkeeping.
+
+// badNarrowedSum narrows a computed sum: vertex+degree arithmetic
+// must stay in int64.
+func badNarrowedSum(base int64, degree int64) int32 {
+	return int32(base + degree) // want `narrowing 64-bit arithmetic into int32`
+}
+
+// badNarrowedProduct is the classic vertex*degree overflow shape.
+func badNarrowedProduct(vertices int64, avgDegree int64) int32 {
+	return int32(vertices * avgDegree) // want `narrowing 64-bit arithmetic into int32`
+}
+
+// badNarrowToInt narrows into plain int, which is 32-bit on 32-bit
+// targets — the same truncation risk in disguise.
+func badNarrowToInt(edges int64, scale int64) int {
+	return int(edges << scale) // want `narrowing 64-bit arithmetic into int`
+}
+
+// badNarrowMultiply computes the product in int32 before widening:
+// the overflow already happened.
+func badNarrowMultiply(v int32, degree int32) int64 {
+	return int64(v * degree) // want `multiplication computed in 32-bit type int32`
+}
+
+// badIntProduct overflows on 32-bit targets even without conversion.
+func badIntProduct(rows, cols int) int {
+	return rows * cols // want `multiplication computed in 32-bit type int`
+}
+
+// goodPlainNarrow narrows a plain variable — the pervasive
+// bounds-checked loop-index idiom stays exempt.
+func goodPlainNarrow(v int64) int32 {
+	return int32(v)
+}
+
+// goodDivision shrinks values; division is exempt.
+func goodDivision(edges int64, grain int64) int {
+	return int(edges / grain)
+}
+
+// goodWideProduct computes in int64 from the start.
+func goodWideProduct(v int32, degree int32) int64 {
+	return int64(v) * int64(degree)
+}
+
+// goodConstGrain multiplies by a compile-time bound — grain-size
+// arithmetic, exempt.
+func goodConstGrain(n int) int {
+	return n * 64
+}
+
+// goodAnnotated carries a human-checked bound.
+func goodAnnotated(half int64, quarter int64) int32 {
+	return int32(half + quarter) //lint:narrow-ok operands bounded by scale<=20 graphs in this path
+}

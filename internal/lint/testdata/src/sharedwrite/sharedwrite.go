@@ -1,0 +1,101 @@
+// Package sharedwrite is the golden test for the sharedwrite
+// analyzer: BFS-kernel-shaped goroutine closures writing to captured
+// containers, with and without a visible safety discipline.
+package sharedwrite
+
+import "sync"
+
+// bitmap mimics the repo's claim bitmap.
+type bitmap struct{ words []uint64 }
+
+func (b *bitmap) SetAtomic(i int) bool { return true }
+func (b *bitmap) Get(i int) bool       { return false }
+
+// parallelGrains mimics the repo's fan-out primitive: fn runs
+// concurrently on worker goroutines.
+func parallelGrains(n, grain, workers int, fn func(worker, start, end int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			fn(worker, 0, n)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// badParentWrite is the bug the analyzer exists for: two workers can
+// claim the same vertex and race on parent[v].
+func badParentWrite(parent []int32, queue []int32, visited *bitmap) {
+	parallelGrains(len(queue), 64, 4, func(worker, start, end int) {
+		for _, u := range queue[start:end] {
+			v := int(u)
+			if !visited.Get(v) {
+				parent[v] = u // want `write to captured "parent"`
+			}
+		}
+	})
+}
+
+// badGoClosure seeds the same race through a bare go statement, plus a
+// captured-map write.
+func badGoClosure(level []int32, index map[int32]int32) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		level[0] = 1        // want `write to captured "level"`
+		index[7] = level[0] // want `write to captured "index"`
+	}()
+	wg.Wait()
+}
+
+// goodClaimGuarded is the top-down kernel idiom: only the SetAtomic
+// winner writes, so the write is exempt.
+func goodClaimGuarded(parent, level []int32, queue []int32, visited *bitmap) {
+	parallelGrains(len(queue), 64, 4, func(worker, start, end int) {
+		for _, u := range queue[start:end] {
+			v := int(u)
+			if visited.SetAtomic(v) {
+				parent[v] = u
+				level[v] = 1
+			}
+		}
+	})
+}
+
+// goodWorkerShard is the per-worker shard idiom: each goroutine owns
+// exactly locals[worker].
+func goodWorkerShard(queue []int32) {
+	locals := make([][]int32, 4)
+	parallelGrains(len(queue), 64, 4, func(worker, start, end int) {
+		local := locals[worker]
+		local = append(local, queue[start:end]...)
+		locals[worker] = local
+	})
+}
+
+// goodAnnotated is the bottom-up kernel idiom: disjoint ranges make
+// the write safe, which only a human can assert.
+func goodAnnotated(parent []int32, front *bitmap) {
+	parallelGrains(len(parent), 64, 4, func(worker, start, end int) {
+		for v := start; v < end; v++ {
+			if front.Get(v) {
+				parent[v] = int32(v) //lint:shared-ok v iterates this worker's disjoint [start,end) grain
+			}
+		}
+	})
+}
+
+// goodLocalOnly writes a slice declared inside the closure — no
+// capture, no diagnostic.
+func goodLocalOnly(queue []int32) {
+	parallelGrains(len(queue), 64, 4, func(worker, start, end int) {
+		scratch := make([]int32, 0, end-start)
+		for _, u := range queue[start:end] {
+			scratch = append(scratch, u)
+		}
+		_ = scratch
+	})
+}

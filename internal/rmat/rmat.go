@@ -115,7 +115,9 @@ func Edges(p Params) ([]graph.Edge, error) {
 					end = total
 				}
 				for i := start; i < end; i++ {
-					edges[i] = oneEdge(p, rng)
+					// Block ranges are disjoint and each block is
+					// consumed by exactly one worker from the channel.
+					edges[i] = oneEdge(p, rng) //lint:shared-ok single writer: i is in this worker's claimed block
 				}
 			}
 		}()

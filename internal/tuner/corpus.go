@@ -52,6 +52,7 @@ func DefaultCorpusSpec() CorpusSpec {
 
 // NumSamples returns the corpus size the spec will produce.
 func (s CorpusSpec) NumSamples() int {
+	//lint:narrow-ok corpus dimensions are config-sized (tens), product stays far below 2^31
 	return len(s.Scales) * len(s.EdgeFactors) * len(s.ProbSets) * len(s.Seeds) *
 		s.SourcesPerGraph * len(s.ArchPairs)
 }

@@ -94,7 +94,7 @@ type Labeled struct {
 func CandidateGrid(nM, nN int, maxM, maxN float64) []SwitchPoint {
 	ms := geomSpace(1, maxM, nM)
 	ns := geomSpace(1, maxN, nN)
-	grid := make([]SwitchPoint, 0, len(ms)*len(ns))
+	grid := make([]SwitchPoint, 0, len(ms)*len(ns)) //lint:narrow-ok candidate grids are ~40x25; product stays far below 2^31
 	for _, m := range ms {
 		for _, n := range ns {
 			grid = append(grid, SwitchPoint{M: m, N: n})
