@@ -43,6 +43,19 @@ type (
 	SwitchPoint = tuner.SwitchPoint
 	// TEPSReport is a Graph 500-style benchmark summary.
 	TEPSReport = graph500.RunResult
+	// Engine is a named, reusable BFS kernel configuration. All kernels
+	// (serial, top-down, bottom-up, edge-parallel, hybrid, adaptive)
+	// implement it; see NewTopDownEngine and friends.
+	Engine = bfs.Engine
+	// Workspace holds the pooled per-traversal buffers an Engine runs
+	// in. Results returned from Engine.Run alias the workspace; Clone
+	// them before reusing it.
+	Workspace = bfs.Workspace
+	// WorkspacePool recycles Workspaces by size class; its zero value
+	// is ready to use.
+	WorkspacePool = bfs.WorkspacePool
+	// ManyOptions configures BFSMany / bfs.RunMany batches.
+	ManyOptions = bfs.ManyOptions
 )
 
 // Direction values.
@@ -100,6 +113,52 @@ func BFSBottomUp(g *Graph, source int32) (*Result, error) {
 // bottom-up when |E|cq >= |E|/m or |V|cq >= |V|/n (paper Fig. 4).
 func BFSHybrid(g *Graph, source int32, m, n float64) (*Result, error) {
 	return bfs.Hybrid(g, source, m, n, 0)
+}
+
+// NewWorkspace allocates a traversal workspace sized for g, for
+// callers that manage reuse themselves instead of going through a
+// WorkspacePool.
+func NewWorkspace(g *Graph) *Workspace { return bfs.NewWorkspace(g.NumVertices()) }
+
+// NewDefaultEngine returns the engine BFS uses: the hybrid combination
+// with the default (M=N=64) switching point and full parallelism.
+func NewDefaultEngine() Engine { return bfs.DefaultEngine() }
+
+// NewTopDownEngine returns the pure top-down kernel as an Engine.
+// workers <= 0 selects GOMAXPROCS.
+func NewTopDownEngine(workers int) Engine { return bfs.TopDownEngine(workers) }
+
+// NewBottomUpEngine returns the pure bottom-up kernel as an Engine.
+func NewBottomUpEngine(workers int) Engine { return bfs.BottomUpEngine(workers) }
+
+// NewHybridEngine returns the (M, N)-switched combination as an Engine.
+func NewHybridEngine(m, n float64, workers int) Engine { return bfs.HybridEngine(m, n, workers) }
+
+// BFSWith runs one traversal through an Engine in a caller-held
+// workspace. ws may be nil (a throwaway workspace is allocated); when
+// it is reused across calls the traversal allocates nothing in steady
+// state. The Result aliases ws — Clone it before the next run if it
+// must survive.
+func BFSWith(g *Graph, source int32, e Engine, ws *Workspace) (*Result, error) {
+	if e == nil {
+		e = bfs.DefaultEngine()
+	}
+	return e.Run(g, source, ws)
+}
+
+// BFSMany runs one traversal per root and returns durable (cloned)
+// results in root order. Workspaces are drawn from the shared pool and
+// the batch runs roots concurrently; see ManyOptions for control over
+// the engine, concurrency, and pool.
+func BFSMany(g *Graph, roots []int32, opts ManyOptions) ([]*Result, error) {
+	return bfs.RunMany(g, roots, opts)
+}
+
+// BFSEach is the streaming form of BFSMany: fn observes each root's
+// Result without the per-root Clone. The Result passed to fn aliases a
+// pooled workspace and is only valid during the callback.
+func BFSEach(g *Graph, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
+	return bfs.RunManyFunc(g, roots, opts, fn)
 }
 
 // ValidateBFS checks a result against the Graph 500 validation rules.

@@ -85,6 +85,7 @@ func benchModel(b *testing.B) *tuner.Model {
 // BenchmarkFig1FrontierVertices regenerates Fig. 1 (per-level |V|cq
 // across scales) and reports the peak frontier fraction.
 func BenchmarkFig1FrontierVertices(b *testing.B) {
+	b.ReportAllocs()
 	var peakFrac float64
 	for i := 0; i < b.N; i++ {
 		profiles, err := exp.FrontierProfiles([]int{12, 13, 14}, 16, 1)
@@ -106,6 +107,7 @@ func BenchmarkFig1FrontierVertices(b *testing.B) {
 
 // BenchmarkFig2FrontierEdges regenerates Fig. 2 (per-level |E|cq).
 func BenchmarkFig2FrontierEdges(b *testing.B) {
+	b.ReportAllocs()
 	var peakFrac float64
 	for i := 0; i < b.N; i++ {
 		profiles, err := exp.FrontierProfiles([]int{12, 13, 14}, 16, 1)
@@ -128,6 +130,7 @@ func BenchmarkFig2FrontierEdges(b *testing.B) {
 // BenchmarkFig3DirectionTimes regenerates Fig. 3 and reports how many
 // levels bottom-up wins.
 func BenchmarkFig3DirectionTimes(b *testing.B) {
+	b.ReportAllocs()
 	var buWins int
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.DirectionComparison(benchCfg)
@@ -147,6 +150,7 @@ func BenchmarkFig3DirectionTimes(b *testing.B) {
 // BenchmarkTable3BestM regenerates Table III (exhaustive best M per
 // graph) and reports the spread of best M across graphs.
 func BenchmarkTable3BestM(b *testing.B) {
+	b.ReportAllocs()
 	var spread float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.BestSwitchingPoints([]int{12, 13}, []int{16, 32}, 1)
@@ -171,6 +175,7 @@ func BenchmarkTable3BestM(b *testing.B) {
 // Regression / Exhaustive) and reports the regression quality
 // (paper: >= 95% of exhaustive).
 func BenchmarkFig8Strategies(b *testing.B) {
+	b.ReportAllocs()
 	model := benchModel(b)
 	b.ResetTimer()
 	var quality float64
@@ -187,6 +192,7 @@ func BenchmarkFig8Strategies(b *testing.B) {
 // BenchmarkTable4StepByStep regenerates Table IV and reports the
 // cross-architecture speedup over GPUTD (the paper's 36.1x cell).
 func BenchmarkTable4StepByStep(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		t, err := exp.StepByStepOptimization(benchCfg)
@@ -201,6 +207,7 @@ func BenchmarkTable4StepByStep(b *testing.B) {
 // BenchmarkTable5CrossSpeedup regenerates Table V and reports the mean
 // speedup (paper: average 64x).
 func BenchmarkTable5CrossSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	var mean float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.CrossSpeedups(benchCfg, [][2]int{{14, 16}, {14, 32}, {15, 16}})
@@ -219,6 +226,7 @@ func BenchmarkTable5CrossSpeedup(b *testing.B) {
 // BenchmarkFig9Combinations regenerates Fig. 9 and reports the mean
 // cross-architecture speedup over the MIC combination (paper: 8.5x).
 func BenchmarkFig9Combinations(b *testing.B) {
+	b.ReportAllocs()
 	var mean float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.CombinationComparison(benchCfg, [][2]int{{15, 16}, {15, 32}})
@@ -237,6 +245,7 @@ func BenchmarkFig9Combinations(b *testing.B) {
 // BenchmarkFig10StrongScaling regenerates Fig. 10a and reports the
 // CPU's 1-to-8-core speedup.
 func BenchmarkFig10StrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.StrongScaling(benchCfg)
@@ -260,6 +269,7 @@ func BenchmarkFig10StrongScaling(b *testing.B) {
 // BenchmarkFig10WeakScaling regenerates Fig. 10b and reports the CPU
 // weak-scaling growth.
 func BenchmarkFig10WeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.WeakScaling(benchCfg)
@@ -283,6 +293,7 @@ func BenchmarkFig10WeakScaling(b *testing.B) {
 // BenchmarkTable6AvgPerformance regenerates Table VI and reports the
 // large-size CPU/GPU ratio (paper: CPU overtakes at 8M vertices).
 func BenchmarkTable6AvgPerformance(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.AveragePerformance(benchCfg, []int{14, 18})
@@ -299,6 +310,7 @@ func BenchmarkTable6AvgPerformance(b *testing.B) {
 // reports the cross-architecture speedup over the Graph 500 reference
 // (paper: 16-63x, average 29x).
 func BenchmarkComparisonGraph500Ref(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.ExternalComparisons(benchCfg)
@@ -320,12 +332,14 @@ func BenchmarkComparisonGraph500Ref(b *testing.B) {
 // points by replaying one trace; .../rerun re-traverses the graph per
 // candidate. The gap is why exhaustive labelling is affordable.
 func BenchmarkAblationReplayVsRerun(b *testing.B) {
+	b.ReportAllocs()
 	g, tr := fixture(b)
 	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
 	link := archsim.PCIe()
 	candidates := tuner.DefaultCandidates()
 
 	b.Run("replay-1000", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := tuner.Evaluate(tr, cpu, gpu, link, candidates); err != nil {
 				b.Fatal(err)
@@ -333,6 +347,7 @@ func BenchmarkAblationReplayVsRerun(b *testing.B) {
 		}
 	})
 	b.Run("rerun-10", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, cand := range candidates[:10] {
 				if _, err := bfs.Hybrid(g, tr.Source, cand.M, cand.N, 0); err != nil {
@@ -348,6 +363,7 @@ func BenchmarkAblationReplayVsRerun(b *testing.B) {
 // how far the cross-architecture advantage falls — the paper's §III-A
 // argument that parallelism differences drive the split.
 func BenchmarkAblationFlatUtilization(b *testing.B) {
+	b.ReportAllocs()
 	_, tr := fixture(b)
 	link := archsim.PCIe()
 	flat := func(a archsim.Arch) archsim.Arch {
@@ -375,6 +391,7 @@ func BenchmarkAblationFlatUtilization(b *testing.B) {
 // vertex scanned its whole list (the paper's |E|un upper bound) and
 // reports the slowdown relative to exact early-exit scan counts.
 func BenchmarkAblationNoEarlyExit(b *testing.B) {
+	b.ReportAllocs()
 	_, tr := fixture(b)
 	gpu := archsim.KeplerK20x()
 	link := archsim.PCIe()
@@ -396,6 +413,7 @@ func BenchmarkAblationNoEarlyExit(b *testing.B) {
 // BenchmarkAblationFreeTransfers removes the PCIe cost and reports how
 // much of the mistuned-switching-point spread it was responsible for.
 func BenchmarkAblationFreeTransfers(b *testing.B) {
+	b.ReportAllocs()
 	_, tr := fixture(b)
 	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
 	sweep := []float64{1, 4, 16, 64, 256, 1024}
@@ -431,6 +449,7 @@ func BenchmarkAblationFreeTransfers(b *testing.B) {
 // on a mistuned late switch over a stressed link, reporting how much
 // transfer time a smarter runtime hides.
 func BenchmarkAblationLazyTransfers(b *testing.B) {
+	b.ReportAllocs()
 	_, tr := fixture(b)
 	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
 	slow := archsim.Link{BandwidthGBs: 0.5, LatencySeconds: 15e-6}
@@ -447,6 +466,7 @@ func BenchmarkAblationLazyTransfers(b *testing.B) {
 // BenchmarkExtensionMultiCoprocessor sweeps 1-3 simulated GPUs on the
 // partitioned bottom-up extension and reports the 3-device speedup.
 func BenchmarkExtensionMultiCoprocessor(b *testing.B) {
+	b.ReportAllocs()
 	_, tr := fixture(b)
 	cpu, gpu := archsim.SandyBridge(), archsim.KeplerK20x()
 	link := archsim.PCIe()
@@ -480,6 +500,7 @@ func BenchmarkExtensionMultiCoprocessor(b *testing.B) {
 // table; `experiments -run heuristics`) and reports the oracle's gain
 // over the best alternative.
 func BenchmarkExtensionHeuristics(b *testing.B) {
+	b.ReportAllocs()
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.HeuristicComparison(benchCfg, [][2]int{{14, 16}})
@@ -495,6 +516,7 @@ func BenchmarkExtensionHeuristics(b *testing.B) {
 // time" claim: the cost of one online (M, N) prediction against the
 // cost of the traversal it tunes.
 func BenchmarkAdaptiveOverhead(b *testing.B) {
+	b.ReportAllocs()
 	model := benchModel(b)
 	_, tr := fixture(b)
 	sample := tuner.Sample{
@@ -511,6 +533,7 @@ func BenchmarkAdaptiveOverhead(b *testing.B) {
 // BenchmarkEndToEndAdaptive runs the complete online path: predict
 // thresholds, execute the real traversal, price it.
 func BenchmarkEndToEndAdaptive(b *testing.B) {
+	b.ReportAllocs()
 	model := benchModel(b)
 	g, tr := fixture(b)
 	sample := tuner.Sample{

@@ -71,7 +71,9 @@ func run(scale, edgeFactor int, seed uint64, graphPath string, source int, planN
 	}
 	fmt.Printf("graph: %d vertices, %d directed edges, source %d\n", g.NumVertices(), g.NumEdges(), src)
 
-	tr, err := bfs.TraceFrom(g, src)
+	ws := bfs.DefaultPool.Get(g.NumVertices())
+	tr, err := bfs.TraceFromWith(g, src, ws)
+	bfs.DefaultPool.Put(ws)
 	if err != nil {
 		return err
 	}

@@ -71,19 +71,23 @@ func run(scale, edgeFactor int, seed uint64, numRoots int, mode, planName string
 		ConstructionTime: construction,
 	}
 
-	var times, teps []float64
+	times := make([]float64, len(roots))
+	teps := make([]float64, len(roots))
 	switch mode {
 	case "real":
-		for _, root := range roots {
-			res, timing, err := core.Measure(g, root, bfs.MN{M: m, N: n}, "hybrid", workers)
+		// One workspace serves the whole key sweep so measured wall
+		// times reflect kernel work, not allocator churn between roots.
+		ws := bfs.NewWorkspace(g.NumVertices())
+		for i, root := range roots {
+			res, timing, err := core.MeasureWith(g, root, bfs.MN{M: m, N: n}, "hybrid", workers, ws)
 			if err != nil {
 				return err
 			}
 			if err := bfs.Validate(g, res); err != nil {
 				return fmt.Errorf("root %d failed validation: %w", root, err)
 			}
-			times = append(times, timing.Total.Seconds())
-			teps = append(teps, timing.TEPS())
+			times[i] = timing.Total.Seconds()
+			teps[i] = timing.TEPS()
 		}
 	case "sim":
 		plan, err := selectPlan(planName, m, n)
@@ -91,21 +95,22 @@ func run(scale, edgeFactor int, seed uint64, numRoots int, mode, planName string
 			return err
 		}
 		link := archsim.PCIe()
-		for _, root := range roots {
-			res, err := bfs.Serial(g, root)
-			if err != nil {
-				return err
-			}
-			if err := bfs.Validate(g, res); err != nil {
-				return fmt.Errorf("root %d failed validation: %w", root, err)
-			}
-			tr, err := bfs.ComputeTrace(g, res)
-			if err != nil {
-				return err
-			}
-			timing := core.Simulate(tr, plan, link)
-			times = append(times, timing.Total)
-			teps = append(teps, timing.TEPS())
+		err = bfs.RunManyFunc(g, roots, bfs.ManyOptions{Engine: bfs.SerialEngine()},
+			func(i int, root int32, res *bfs.Result) error {
+				if err := bfs.Validate(g, res); err != nil {
+					return fmt.Errorf("root %d failed validation: %w", root, err)
+				}
+				tr, err := bfs.ComputeTrace(g, res)
+				if err != nil {
+					return err
+				}
+				timing := core.Simulate(tr, plan, link)
+				times[i] = timing.Total //lint:shared-ok RunManyFunc delivers each index to exactly one callback
+				teps[i] = timing.TEPS() //lint:shared-ok RunManyFunc delivers each index to exactly one callback
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (want real or sim)", mode)

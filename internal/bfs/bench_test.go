@@ -2,6 +2,7 @@ package bfs
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"crossbfs/internal/graph"
@@ -45,6 +46,7 @@ func benchTEPS(b *testing.B, r *Result, err error) {
 
 func BenchmarkSerial(b *testing.B) {
 	g, src := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := Serial(g, src)
@@ -54,6 +56,7 @@ func BenchmarkSerial(b *testing.B) {
 
 func BenchmarkTopDownSerialKernels(b *testing.B) {
 	g, src := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := RunTopDown(g, src, 1)
@@ -63,6 +66,7 @@ func BenchmarkTopDownSerialKernels(b *testing.B) {
 
 func BenchmarkTopDownParallel(b *testing.B) {
 	g, src := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := RunTopDown(g, src, 0)
@@ -72,6 +76,7 @@ func BenchmarkTopDownParallel(b *testing.B) {
 
 func BenchmarkBottomUp(b *testing.B) {
 	g, src := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := RunBottomUp(g, src, 0)
@@ -81,11 +86,62 @@ func BenchmarkBottomUp(b *testing.B) {
 
 func BenchmarkHybrid(b *testing.B) {
 	g, src := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := Hybrid(g, src, 64, 64, 0)
 		benchTEPS(b, r, err)
 	}
+}
+
+// BenchmarkRunReuseWorkspace is BenchmarkHybrid through a caller-held
+// workspace — the steady-state pooled path. allocs/op here vs
+// BenchmarkHybrid is the pooling win the issue's acceptance gate
+// measures.
+func BenchmarkRunReuseWorkspace(b *testing.B) {
+	g, src := benchGraph(b)
+	ws := NewWorkspace(g.NumVertices())
+	opts := Options{Policy: MN{M: 64, N: 64}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := RunWith(g, src, opts, ws)
+		benchTEPS(b, r, err)
+	}
+}
+
+// BenchmarkRunMany64Roots measures the batched multi-root path: 64
+// search keys (the Graph 500 default) through pooled workspaces with
+// concurrent roots.
+func BenchmarkRunMany64Roots(b *testing.B) {
+	g, _ := benchGraph(b)
+	var roots []int32
+	stride := g.NumVertices()/64 + 1
+	for v := 0; v < g.NumVertices() && len(roots) < 64; v += stride {
+		for u := v; u < g.NumVertices(); u++ {
+			if g.Degree(int32(u)) > 0 {
+				roots = append(roots, int32(u))
+				break
+			}
+		}
+	}
+	if len(roots) != 64 {
+		b.Fatalf("sampled %d roots, want 64", len(roots))
+	}
+	var edges atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		edges.Store(0)
+		err := RunManyFunc(g, roots, ManyOptions{}, func(_ int, _ int32, r *Result) error {
+			edges.Add(r.TraversedEdges)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(edges.Load() * 4)
 }
 
 func BenchmarkComputeTrace(b *testing.B) {
@@ -94,6 +150,7 @@ func BenchmarkComputeTrace(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ComputeTrace(g, r); err != nil {
@@ -108,6 +165,7 @@ func BenchmarkValidate(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := Validate(g, r); err != nil {

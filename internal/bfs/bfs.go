@@ -83,22 +83,6 @@ func (r *Result) Depth() int32 {
 	return d
 }
 
-func newResult(g *graph.CSR, source int32) *Result {
-	n := g.NumVertices()
-	r := &Result{
-		Source: source,
-		Parent: make([]int32, n),
-		Level:  make([]int32, n),
-	}
-	for i := 0; i < n; i++ {
-		r.Parent[i] = NotVisited
-		r.Level[i] = NotVisited
-	}
-	r.Parent[source] = source
-	r.Level[source] = 0
-	return r
-}
-
 // finish computes the visited/traversed counters from the level map.
 func (r *Result) finish(g *graph.CSR) {
 	var visited, traversed int64

@@ -20,23 +20,26 @@ import (
 const epGrain = 2048
 
 // topDownLevelEdgeParallel expands one level top-down with
-// edge-parallel work division. Semantics match topDownLevel.
-func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32, workers int) []int32 {
+// edge-parallel work division. Semantics match topDownLevel; the
+// prefix-sum and shard buffers come from ws so the level loop stops
+// allocating once the traversal warms up.
+func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) []int32 {
 	// Degree prefix sum over the frontier.
-	prefix := make([]int64, len(queue)+1)
+	prefix := ws.prefixBuf(len(queue) + 1)
+	prefix[0] = 0
 	for i, v := range queue {
 		prefix[i+1] = prefix[i] + g.Degree(v)
 	}
 	totalEdges := prefix[len(queue)]
 	if totalEdges == 0 {
-		return nil
+		return out
 	}
 	nworkers := resolveWorkers(workers, int(totalEdges/epGrain)+1)
 	if nworkers == 1 {
-		return topDownLevelSerial(g, r, visited, queue, level)
+		return topDownLevelSerial(g, r, visited, queue, out, level)
 	}
 
-	locals := make([][]int32, nworkers)
+	locals := ws.workerShards(nworkers)
 	parallelGrains(int(totalEdges), epGrain, nworkers, func(worker, start, end int) {
 		local := locals[worker]
 		// First frontier vertex whose edge range intersects [start, end).
@@ -61,15 +64,10 @@ func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, q
 		locals[worker] = local
 	})
 
-	var total int
 	for _, l := range locals {
-		total += len(l)
+		out = append(out, l...)
 	}
-	next := make([]int32, 0, total)
-	for _, l := range locals {
-		next = append(next, l...)
-	}
-	return next
+	return out
 }
 
 func min64(a, b int64) int64 {
@@ -79,24 +77,46 @@ func min64(a, b int64) int64 {
 	return b
 }
 
-// RunTopDownEdgeParallel runs a pure top-down BFS with the
-// edge-parallel kernel.
-func RunTopDownEdgeParallel(g *graph.CSR, source int32, workers int) (*Result, error) {
+// edgeParallelEngine is the edge-parallel top-down kernel as an Engine.
+type edgeParallelEngine struct {
+	workers int
+}
+
+// EdgeParallelEngine returns the edge-parallel top-down kernel as an
+// Engine. workers <= 0 uses GOMAXPROCS.
+func EdgeParallelEngine(workers int) Engine { return edgeParallelEngine{workers: workers} }
+
+// Name implements Engine.
+func (edgeParallelEngine) Name() string { return "edgeparallel" }
+
+// Run implements Engine.
+func (e edgeParallelEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
-	n := g.NumVertices()
-	r := newResult(g, source)
-	visited := bitmap.New(n)
+	if ws == nil {
+		ws = NewWorkspace(g.NumVertices())
+	}
+	r := ws.begin(g, source)
+	visited := ws.visited
 	visited.Set(int(source))
-	queue := []int32{source}
+	queue := append(ws.queue[:0], source)
+	spare := ws.spare
 	level := int32(1)
 	for len(queue) > 0 {
-		queue = topDownLevelEdgeParallel(g, r, visited, queue, level, workers)
+		out := topDownLevelEdgeParallel(g, r, visited, queue, spare[:0], level, e.workers, ws)
+		queue, spare = out, queue
 		r.Directions = append(r.Directions, TopDown)
 		r.StepScans = append(r.StepScans, 0)
 		level++
 	}
+	ws.retain(r, queue, spare)
 	r.finish(g)
 	return r, nil
+}
+
+// RunTopDownEdgeParallel runs a pure top-down BFS with the
+// edge-parallel kernel and one-shot buffers.
+func RunTopDownEdgeParallel(g *graph.CSR, source int32, workers int) (*Result, error) {
+	return edgeParallelEngine{workers: workers}.Run(g, source, nil)
 }

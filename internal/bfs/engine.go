@@ -1,0 +1,126 @@
+package bfs
+
+import (
+	"fmt"
+
+	"crossbfs/internal/graph"
+)
+
+// Engine is the unified execution interface over every BFS kernel in
+// the package: the serial reference, the parallel top-down and
+// bottom-up baselines, the edge-parallel kernel, the (M, N) hybrid,
+// and the adaptive heuristics. It replaces the free-function zoo
+// (RunTopDown / RunBottomUp / Run with hand-built Options) with one
+// shape that every layer — the simulator's Execute, the Graph 500
+// runner, the tuner, the CLI tools — can hold without knowing which
+// kernel is behind it, and it is the seam where pooled workspaces
+// plug in.
+type Engine interface {
+	// Name identifies the engine in reports, e.g. "hybrid(64,64)".
+	Name() string
+	// Run executes one traversal from source. ws may be nil, in which
+	// case the engine allocates one-shot buffers; with a Workspace the
+	// traversal allocates nothing in steady state, and the returned
+	// Result aliases the workspace's buffers — it is valid only until
+	// the workspace's next traversal, so Clone it (or finish consuming
+	// it) before reusing the workspace.
+	Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error)
+}
+
+// policyEngine is the direction-policy-driven level-synchronized
+// runner behind the top-down, bottom-up, hybrid, and adaptive engines.
+type policyEngine struct {
+	name string
+	// policy is a stateless policy shared across runs; newPolicy, when
+	// set, builds a fresh policy per traversal for stateful heuristics
+	// (Beamer's alpha/beta phases, Hong's one-way switch).
+	policy          Policy
+	newPolicy       func() Policy
+	workers         int
+	checkInvariants bool
+}
+
+// Name implements Engine.
+func (e *policyEngine) Name() string { return e.name }
+
+// Run implements Engine.
+func (e *policyEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	pol := e.policy
+	if e.newPolicy != nil {
+		pol = e.newPolicy()
+	}
+	opts := Options{Policy: pol, Workers: e.workers, CheckInvariants: e.checkInvariants}
+	return RunWith(g, source, opts, ws)
+}
+
+// TopDownEngine returns the pure top-down baseline (paper Algorithm 1)
+// as an Engine. workers <= 0 uses GOMAXPROCS.
+func TopDownEngine(workers int) Engine {
+	return &policyEngine{name: "topdown", policy: AlwaysTopDown, workers: workers}
+}
+
+// BottomUpEngine returns the pure bottom-up baseline (paper
+// Algorithm 2) as an Engine.
+func BottomUpEngine(workers int) Engine {
+	return &policyEngine{name: "bottomup", policy: AlwaysBottomUp, workers: workers}
+}
+
+// HybridEngine returns the direction-optimizing combination with the
+// paper's (M, N) switching rule as an Engine.
+func HybridEngine(m, n float64, workers int) Engine {
+	return &policyEngine{
+		name:    fmt.Sprintf("hybrid(%g,%g)", m, n),
+		policy:  MN{M: m, N: n},
+		workers: workers,
+	}
+}
+
+// AdaptiveEngine wraps a stateful switching heuristic as an Engine:
+// newPolicy is invoked once per traversal, so per-traversal phase
+// state (alpha/beta direction phase, Hong's one-way switch) never
+// leaks between roots.
+func AdaptiveEngine(name string, newPolicy func() Policy, workers int) Engine {
+	return &policyEngine{name: name, newPolicy: newPolicy, workers: workers}
+}
+
+// BeamerEngine returns Beamer et al.'s SC'12 alpha/beta heuristic as
+// an Engine (non-positive arguments select the published constants).
+func BeamerEngine(alpha, beta float64, workers int) Engine {
+	return AdaptiveEngine(
+		fmt.Sprintf("beamer(%g,%g)", alpha, beta),
+		func() Policy { return NewAlphaBeta(alpha, beta) },
+		workers,
+	)
+}
+
+// HongEngine returns Hong et al.'s PACT'11 one-way switching heuristic
+// as an Engine.
+func HongEngine(workers int) Engine {
+	return AdaptiveEngine("hong", func() Policy { return NewHongHybrid() }, workers)
+}
+
+// EngineFor adapts an Options value to the Engine interface — the
+// bridge for callers that already hold a policy (core.Execute,
+// core.Measure). The options' Policy instance is used as-is; hand
+// stateful policies to AdaptiveEngine instead so each traversal gets a
+// fresh one.
+func EngineFor(opts Options) Engine {
+	name := "policy"
+	switch p := opts.Policy.(type) {
+	case nil:
+		name = "topdown"
+	case MN:
+		name = fmt.Sprintf("hybrid(%g,%g)", p.M, p.N)
+	}
+	return &policyEngine{
+		name:            name,
+		policy:          opts.Policy,
+		workers:         opts.Workers,
+		checkInvariants: opts.CheckInvariants,
+	}
+}
+
+// DefaultEngine returns the package's flagship configuration: the
+// direction-optimizing hybrid at the repo-wide default thresholds with
+// automatic parallelism.
+func DefaultEngine() Engine { return HybridEngine(DefaultM, DefaultN, 0) }

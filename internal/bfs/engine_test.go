@@ -1,0 +1,117 @@
+package bfs
+
+import (
+	"strings"
+	"testing"
+
+	"crossbfs/internal/graph"
+)
+
+// TestEnginesAgreeWithSerial checks every Engine implementation, with
+// both a fresh and a reused workspace, against the serial reference:
+// same level map, same reachable set, Graph 500-valid parent tree.
+func TestEnginesAgreeWithSerial(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"path": pathGraph(t, 17),
+		"star": starGraph(t, 33),
+		"rmat": testRMAT(t, 10, 8, 1),
+	}
+	engines := []Engine{
+		SerialEngine(),
+		TopDownEngine(0),
+		BottomUpEngine(0),
+		EdgeParallelEngine(0),
+		HybridEngine(64, 64, 0),
+		BeamerEngine(0, 0, 0),
+		HongEngine(0),
+		DefaultEngine(),
+		EngineFor(Options{Policy: MN{M: 32, N: 32}, CheckInvariants: true}),
+	}
+	for gname, g := range graphs {
+		src := firstUsable(t, g)
+		want, err := Serial(g, src)
+		if err != nil {
+			t.Fatalf("%s: serial reference: %v", gname, err)
+		}
+		for _, e := range engines {
+			name := gname + "/" + e.Name()
+			ws := NewWorkspace(g.NumVertices())
+			for _, mode := range []struct {
+				tag string
+				ws  *Workspace
+			}{{"fresh", nil}, {"reused-1", ws}, {"reused-2", ws}} {
+				got, err := e.Run(g, src, mode.ws)
+				if err != nil {
+					t.Fatalf("%s (%s): %v", name, mode.tag, err)
+				}
+				sameTraversal(t, name+" ("+mode.tag+")", want, got)
+				if err := Validate(g, got); err != nil {
+					t.Fatalf("%s (%s): validate: %v", name, mode.tag, err)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineResultAliasesWorkspace pins the ownership contract: the
+// Result returned from a workspace run is backed by the workspace, so
+// the next traversal overwrites it — and Clone detaches it.
+func TestEngineResultAliasesWorkspace(t *testing.T) {
+	g := pathGraph(t, 12)
+	e := SerialEngine()
+	ws := NewWorkspace(g.NumVertices())
+
+	first, err := e.Run(g, 0, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := first.Clone()
+	if _, err := e.Run(g, 11, ws); err != nil {
+		t.Fatal(err)
+	}
+	if first.Source != 11 {
+		t.Errorf("aliased result kept Source = %d; expected the second run (source 11) to overwrite it", first.Source)
+	}
+	if clone.Source != 0 || clone.Level[11] != 11 {
+		t.Errorf("clone mutated by workspace reuse: source %d, Level[11] = %d", clone.Source, clone.Level[11])
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	cases := []struct {
+		e    Engine
+		want string
+	}{
+		{SerialEngine(), "serial"},
+		{TopDownEngine(0), "topdown"},
+		{BottomUpEngine(0), "bottomup"},
+		{EdgeParallelEngine(0), "edgeparallel"},
+		{HybridEngine(64, 64, 0), "hybrid(64,64)"},
+		{HongEngine(0), "hong"},
+		{EngineFor(Options{}), "topdown"},
+		{EngineFor(Options{Policy: MN{M: 10, N: 20}}), "hybrid(10,20)"},
+	}
+	for _, c := range cases {
+		if got := c.e.Name(); got != c.want {
+			t.Errorf("Name() = %q, want %q", got, c.want)
+		}
+	}
+	// EngineFor must never compare the (possibly non-comparable) Policy
+	// value; a PolicyFunc both exercises that and gets the generic name.
+	f := EngineFor(Options{Policy: PolicyFunc(func(StepInfo) Direction { return TopDown })})
+	if got := f.Name(); got != "policy" {
+		t.Errorf("EngineFor(PolicyFunc).Name() = %q, want %q", got, "policy")
+	}
+	if !strings.HasPrefix(BeamerEngine(0, 0, 0).Name(), "beamer(") {
+		t.Errorf("BeamerEngine name = %q", BeamerEngine(0, 0, 0).Name())
+	}
+}
+
+func TestEngineRejectsBadSource(t *testing.T) {
+	g := pathGraph(t, 4)
+	for _, e := range []Engine{SerialEngine(), DefaultEngine(), EdgeParallelEngine(0)} {
+		if _, err := e.Run(g, 99, nil); err == nil {
+			t.Errorf("%s: out-of-range source accepted", e.Name())
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package bfs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"crossbfs/internal/graph"
+)
+
+// ManyOptions configure a batched multi-root execution.
+type ManyOptions struct {
+	// Engine runs each traversal; nil selects DefaultEngine (the
+	// direction-optimizing hybrid at the default thresholds).
+	Engine Engine
+	// Concurrency is the number of roots traversed in flight at once:
+	// 0 (or negative) means GOMAXPROCS, 1 forces sequential execution.
+	// Each in-flight root holds one workspace.
+	Concurrency int
+	// Pool supplies the traversal workspaces; nil uses DefaultPool.
+	Pool *WorkspacePool
+}
+
+func (o ManyOptions) withDefaults() ManyOptions {
+	if o.Engine == nil {
+		o.Engine = DefaultEngine()
+	}
+	if o.Pool == nil {
+		o.Pool = DefaultPool
+	}
+	return o
+}
+
+// RunMany traverses g from every root and returns one durable Result
+// per root, in root order — the batched shape the Graph 500 runner
+// (64 search keys on one graph) and the tuner's labelling sweeps need.
+// Workspace acquisition is amortized across the batch: each in-flight
+// worker checks one workspace out of the pool and reuses it for all
+// the roots it claims. The results are deep copies that own their
+// memory; callers that can consume each result in place should use
+// RunManyFunc, which skips the copies entirely.
+//
+// With the default parallel kernels, per-root results are
+// deterministic in their Level maps and validity but may differ in
+// tie-broken Parent choices run to run, exactly as repeated Run calls
+// do; with Workers: 1 engines, RunMany(g, roots) is element-wise
+// identical to len(roots) independent Run calls.
+func RunMany(g *graph.CSR, roots []int32, opts ManyOptions) ([]*Result, error) {
+	results := make([]*Result, len(roots))
+	err := RunManyFunc(g, roots, opts, func(i int, _ int32, r *Result) error {
+		results[i] = r.Clone() //lint:shared-ok the atomic root cursor hands index i to exactly one callback
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunManyFunc traverses g from every root and streams each result to
+// fn(i, roots[i], r) without copying: r aliases the traversal's
+// workspace and is valid only for the duration of the call. fn may run
+// concurrently from multiple goroutines when Concurrency != 1 (each
+// index is delivered exactly once, so indexed writes to caller-owned
+// slices are safe without locking). The first error — from a traversal
+// or from fn — cancels the remaining roots and is returned.
+func RunManyFunc(g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
+	opts = opts.withDefaults()
+	if len(roots) == 0 {
+		return nil
+	}
+	workers := resolveWorkers(opts.Concurrency, len(roots))
+	n := g.NumVertices()
+
+	if workers == 1 {
+		ws := opts.Pool.Get(n)
+		defer opts.Pool.Put(ws)
+		for i, root := range roots {
+			r, err := opts.Engine.Run(g, root, ws)
+			if err != nil {
+				return err
+			}
+			if err := fn(i, root, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor   atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := opts.Pool.Get(n)
+			defer opts.Pool.Put(ws)
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(roots) {
+					return
+				}
+				r, err := opts.Engine.Run(g, roots[i], ws)
+				if err == nil {
+					err = fn(i, roots[i], r)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

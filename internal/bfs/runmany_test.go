@@ -1,0 +1,146 @@
+package bfs
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// sampleRoots picks up to max distinct non-isolated vertices, evenly
+// spread over the id range. (graph500.SampleRoots is the public
+// sampler; it cannot be imported here without a cycle.)
+func sampleRoots(t *testing.T, g interface {
+	NumVertices() int
+	Degree(int32) int64
+}, max int) []int32 {
+	t.Helper()
+	n := g.NumVertices()
+	stride := n/max + 1
+	var roots []int32
+	for v := 0; v < n && len(roots) < max; v += stride {
+		for u := v; u < n; u++ {
+			if g.Degree(int32(u)) > 0 {
+				roots = append(roots, int32(u))
+				break
+			}
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no usable roots")
+	}
+	return roots
+}
+
+// TestRunManyMatchesIndependentRuns is the batching property test:
+// with a deterministic (Workers: 1) engine, RunMany over N roots is
+// element-wise identical to N independent Run calls, at every
+// concurrency setting.
+func TestRunManyMatchesIndependentRuns(t *testing.T) {
+	g := testRMAT(t, 10, 8, 2)
+	roots := sampleRoots(t, g, 12)
+	for _, e := range []Engine{SerialEngine(), HybridEngine(64, 64, 1)} {
+		for _, conc := range []int{1, 4, 0} {
+			got, err := RunMany(g, roots, ManyOptions{Engine: e, Concurrency: conc})
+			if err != nil {
+				t.Fatalf("%s conc=%d: %v", e.Name(), conc, err)
+			}
+			if len(got) != len(roots) {
+				t.Fatalf("%s conc=%d: %d results, want %d", e.Name(), conc, len(got), len(roots))
+			}
+			for i, root := range roots {
+				want, err := e.Run(g, root, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exactSame(t, fmt.Sprintf("%s conc=%d root[%d]=%d", e.Name(), conc, i, root), want, got[i])
+			}
+		}
+	}
+}
+
+// TestRunManyParallelEnginesValid covers the default (parallel)
+// engine, whose Parent tie-breaks are nondeterministic: levels must
+// still match the serial reference and every tree must validate.
+func TestRunManyParallelEnginesValid(t *testing.T) {
+	g := testRMAT(t, 10, 8, 4)
+	roots := sampleRoots(t, g, 8)
+	results, err := RunMany(g, roots, ManyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, root := range roots {
+		want, err := Serial(g, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTraversal(t, fmt.Sprintf("root[%d]=%d", i, root), want, results[i])
+		if err := Validate(g, results[i]); err != nil {
+			t.Fatalf("root[%d]=%d: %v", i, root, err)
+		}
+	}
+}
+
+// TestRunManyFuncDeliversEachIndexOnce checks the dispatch contract
+// that makes unsynchronized indexed writes in callbacks safe.
+func TestRunManyFuncDeliversEachIndexOnce(t *testing.T) {
+	g := testRMAT(t, 9, 8, 1)
+	roots := sampleRoots(t, g, 16)
+	counts := make([]atomic.Int32, len(roots))
+	err := RunManyFunc(g, roots, ManyOptions{Concurrency: 4}, func(i int, root int32, r *Result) error {
+		if roots[i] != root {
+			return fmt.Errorf("callback got root %d at index %d, want %d", root, i, roots[i])
+		}
+		if r.Source != root {
+			return fmt.Errorf("result source %d, want %d", r.Source, root)
+		}
+		counts[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Errorf("index %d delivered %d times", i, n)
+		}
+	}
+}
+
+func TestRunManyPropagatesCallbackError(t *testing.T) {
+	g := pathGraph(t, 20)
+	roots := []int32{0, 5, 10, 15}
+	sentinel := errors.New("boom")
+	for _, conc := range []int{1, 3} {
+		err := RunManyFunc(g, roots, ManyOptions{Concurrency: conc}, func(i int, _ int32, _ *Result) error {
+			if i == 2 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("conc=%d: err = %v, want sentinel", conc, err)
+		}
+	}
+}
+
+func TestRunManyPropagatesEngineError(t *testing.T) {
+	g := pathGraph(t, 6)
+	for _, conc := range []int{1, 2} {
+		_, err := RunMany(g, []int32{0, 99, 3}, ManyOptions{Concurrency: conc})
+		if err == nil {
+			t.Errorf("conc=%d: out-of-range root accepted", conc)
+		}
+	}
+}
+
+func TestRunManyEmptyRoots(t *testing.T) {
+	g := pathGraph(t, 4)
+	results, err := RunMany(g, nil, ManyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results for zero roots", len(results))
+	}
+}

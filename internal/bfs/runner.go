@@ -115,7 +115,20 @@ type Options struct {
 // Run executes a level-synchronized BFS from source, choosing the
 // direction of each step with opts.Policy and switching the frontier
 // representation (queue for top-down, bitmap for bottom-up) as needed.
+// Each call allocates one-shot buffers; repeated-traversal callers
+// should prefer RunWith (or RunMany) with a pooled Workspace.
 func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
+	return RunWith(g, source, opts, nil)
+}
+
+// RunWith is Run with an explicit traversal workspace: every buffer —
+// the result's parent/level maps, both frontier queues, the worker
+// shards, and the visited/frontier bitmaps — comes from ws and is
+// reset, not reallocated, so steady-state repeated traversals allocate
+// nothing. ws may be nil (a one-shot workspace is created). The
+// returned Result aliases ws's storage and is valid only until ws's
+// next traversal; Clone it for durability.
+func RunWith(g *graph.CSR, source int32, opts Options, ws *Workspace) (*Result, error) {
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
@@ -128,15 +141,19 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	if ws == nil {
+		ws = NewWorkspace(g.NumVertices())
+	}
 
 	n := g.NumVertices()
-	r := newResult(g, source)
-	visited := bitmap.New(n)
+	r := ws.begin(g, source)
+	visited := ws.visited
 	visited.Set(int(source))
 
-	queue := []int32{source} // valid when queueValid
-	front := bitmap.New(n)   // valid when !queueValid
-	next := bitmap.New(n)    // bottom-up scratch
+	queue := append(ws.queue[:0], source) // valid when queueValid
+	spare := ws.spare                     // top-down output buffer
+	front := ws.front                     // valid when !queueValid
+	next := ws.next                       // bottom-up scratch
 	queueValid := true
 	frontierVertices := int64(1)
 	unvisited := int64(n) - 1
@@ -161,7 +178,8 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 				queue = front.AppendSet(queue[:0])
 				queueValid = true
 			}
-			queue = topDownLevel(g, r, visited, queue, level, opts.Workers)
+			out := topDownLevel(g, r, visited, queue, spare[:0], level, opts.Workers, ws)
+			queue, spare = out, queue
 			foundCount = int64(len(queue))
 		case BottomUp:
 			if queueValid {
@@ -203,6 +221,7 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("bfs: post-traversal: %w", err)
 		}
 	}
+	ws.retain(r, queue, spare)
 	r.finish(g)
 	return r, nil
 }

@@ -2,17 +2,30 @@ package bfs
 
 import "crossbfs/internal/graph"
 
-// Serial runs a textbook queue-based BFS from source. It is the
+// serialEngine is the textbook queue-based BFS as an Engine. It is the
 // correctness reference for every other kernel and the model of the
 // "serial version" the paper uses to explain the CPU/MIC gap (§V-C).
-func Serial(g *graph.CSR, source int32) (*Result, error) {
+type serialEngine struct{}
+
+// SerialEngine returns the serial reference kernel as an Engine.
+func SerialEngine() Engine { return serialEngine{} }
+
+// Name implements Engine.
+func (serialEngine) Name() string { return "serial" }
+
+// Run implements Engine.
+func (serialEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
-	r := newResult(g, source)
-	cq := []int32{source}
+	if ws == nil {
+		ws = NewWorkspace(g.NumVertices())
+	}
+	r := ws.begin(g, source)
+	cq := append(ws.queue[:0], source)
+	nq := ws.spare[:0]
 	for len(cq) > 0 {
-		var nq []int32
+		nq = nq[:0]
 		for _, u := range cq {
 			for _, v := range g.Neighbors(u) {
 				if r.Parent[v] == NotVisited {
@@ -24,8 +37,15 @@ func Serial(g *graph.CSR, source int32) (*Result, error) {
 		}
 		r.Directions = append(r.Directions, TopDown)
 		r.StepScans = append(r.StepScans, 0)
-		cq = nq
+		cq, nq = nq, cq
 	}
+	ws.retain(r, cq, nq)
 	r.finish(g)
 	return r, nil
+}
+
+// Serial runs a textbook queue-based BFS from source with one-shot
+// buffers — the free-function form of SerialEngine.
+func Serial(g *graph.CSR, source int32) (*Result, error) {
+	return serialEngine{}.Run(g, source, nil)
 }

@@ -170,7 +170,16 @@ func ComputeTrace(g *graph.CSR, r *Result) (*Trace, error) {
 // TraceFrom runs a BFS (serial reference) and returns its trace — the
 // usual entry point for experiment drivers.
 func TraceFrom(g *graph.CSR, source int32) (*Trace, error) {
-	r, err := Serial(g, source)
+	return TraceFromWith(g, source, nil)
+}
+
+// TraceFromWith is TraceFrom with a reusable traversal workspace: the
+// serial reference BFS runs out of ws, so sweep drivers (the tuner's
+// corpus builder, the multi-root TEPS loops) stop reallocating the
+// traversal working set per root. The returned Trace owns its memory
+// and stays valid after ws is reused.
+func TraceFromWith(g *graph.CSR, source int32, ws *Workspace) (*Trace, error) {
+	r, err := SerialEngine().Run(g, source, ws)
 	if err != nil {
 		return nil, err
 	}

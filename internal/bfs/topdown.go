@@ -13,15 +13,18 @@ const tdGrain = 256
 // topDownLevel expands one level in the top-down direction: every
 // frontier vertex offers itself as parent to its unvisited neighbors
 // (paper Algorithm 1, lines 7-12). queue holds the current frontier,
-// level is the distance to assign to newly found vertices. visited is
-// the claim bitmap (bit set <=> vertex has a level). Returns the next
-// frontier.
-func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32, workers int) []int32 {
-	if workers == 1 || resolveWorkers(workers, len(queue)) == 1 {
-		return topDownLevelSerial(g, r, visited, queue, level)
-	}
+// out receives the next frontier (passed in empty, returned possibly
+// regrown), level is the distance to assign to newly found vertices.
+// visited is the claim bitmap (bit set <=> vertex has a level). The
+// per-worker shard slices live in ws, hoisted to once-per-traversal
+// scope — they used to be rebuilt every level, which made the level
+// loop itself an allocation hot spot.
+func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) []int32 {
 	nworkers := resolveWorkers(workers, len(queue))
-	locals := make([][]int32, nworkers)
+	if nworkers == 1 {
+		return topDownLevelSerial(g, r, visited, queue, out, level)
+	}
+	locals := ws.workerShards(nworkers)
 	parallelGrains(len(queue), tdGrain, nworkers, func(worker, start, end int) {
 		local := locals[worker]
 		for _, u := range queue[start:end] {
@@ -38,30 +41,24 @@ func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32
 		}
 		locals[worker] = local
 	})
-	var total int
 	for _, l := range locals {
-		total += len(l)
+		out = append(out, l...)
 	}
-	next := make([]int32, 0, total)
-	for _, l := range locals {
-		next = append(next, l...)
-	}
-	return next
+	return out
 }
 
-func topDownLevelSerial(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue []int32, level int32) []int32 {
-	var next []int32
+func topDownLevelSerial(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32) []int32 {
 	for _, u := range queue {
 		for _, v := range g.Neighbors(u) {
 			if !visited.Get(int(v)) {
 				visited.Set(int(v))
 				r.Parent[v] = u
 				r.Level[v] = level
-				next = append(next, v)
+				out = append(out, v)
 			}
 		}
 	}
-	return next
+	return out
 }
 
 // RunTopDown runs a pure top-down BFS (the paper's GPUTD/CPUTD

@@ -36,6 +36,26 @@ func New(n int) *Bitmap {
 // Len returns the number of bits the bitmap holds.
 func (b *Bitmap) Len() int { return b.n }
 
+// Resize sets the bitmap's length to n and clears every bit. The
+// backing array is reused when it is already large enough, so a pooled
+// traversal workspace can recycle one bitmap across graphs of
+// different sizes without reallocating. Serial-phase only, like Reset.
+func (b *Bitmap) Resize(n int) {
+	if n < 0 {
+		panic("bitmap: negative size")
+	}
+	words := (n + wordBits - 1) / wordBits
+	if cap(b.words) < words {
+		b.words = make([]uint64, words) //lint:shared-ok serial-phase API by contract, like Reset
+	} else {
+		b.words = b.words[:words] //lint:shared-ok serial-phase API by contract, like Reset
+		for i := range b.words {
+			b.words[i] = 0 //lint:shared-ok serial-phase API by contract, like Reset
+		}
+	}
+	b.n = n
+}
+
 // Get reports whether bit i is set.
 func (b *Bitmap) Get(i int) bool {
 	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0

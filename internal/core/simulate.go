@@ -104,11 +104,18 @@ func Simulate(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
 // while the simulator prices each step. Returns the traversal result,
 // its trace, and the priced timing.
 func Execute(g *graph.CSR, source int32, plan Plan, link archsim.Link, workers int) (*bfs.Result, *bfs.Trace, *Timing, error) {
+	return ExecuteWith(g, source, plan, link, workers, nil)
+}
+
+// ExecuteWith is Execute with a reusable traversal workspace. The
+// returned Result aliases ws (see bfs.RunWith); the Trace and Timing
+// own their memory and survive workspace reuse.
+func ExecuteWith(g *graph.CSR, source int32, plan Plan, link archsim.Link, workers int, ws *bfs.Workspace) (*bfs.Result, *bfs.Trace, *Timing, error) {
 	stepper := plan.Begin()
 	policy := bfs.PolicyFunc(func(s bfs.StepInfo) bfs.Direction {
 		return stepper.Place(s).Dir
 	})
-	res, err := bfs.Run(g, source, bfs.Options{Policy: policy, Workers: workers})
+	res, err := bfs.RunWith(g, source, bfs.Options{Policy: policy, Workers: workers}, ws)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: executing plan %s: %w", plan.Name(), err)
 	}

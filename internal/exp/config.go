@@ -85,7 +85,12 @@ func traceFromSampledRoot(g *graph.CSR, seed uint64) (*bfs.Trace, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: graph has no non-isolated vertex")
 	}
-	return bfs.TraceFrom(g, src)
+	// The sweep drivers call this per generated graph; drawing the
+	// traversal buffers from the shared pool keeps the thousand-point
+	// experiment loops from churning the allocator.
+	ws := bfs.DefaultPool.Get(g.NumVertices())
+	defer bfs.DefaultPool.Put(ws)
+	return bfs.TraceFromWith(g, src, ws)
 }
 
 func firstUsableSource(g *graph.CSR, seed uint64) (int32, bool) {

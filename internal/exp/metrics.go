@@ -68,8 +68,10 @@ func multiPlanTEPS(g *graph.CSR, archs []archsim.Arch, cfg Config) (map[archsim.
 		return nil, fmt.Errorf("exp: no usable roots")
 	}
 	perArch := make(map[archsim.Kind][]float64)
+	ws := bfs.DefaultPool.Get(g.NumVertices())
+	defer bfs.DefaultPool.Put(ws)
 	for _, root := range roots {
-		tr, err := bfs.TraceFrom(g, root)
+		tr, err := bfs.TraceFromWith(g, root, ws)
 		if err != nil {
 			return nil, err
 		}

@@ -29,14 +29,17 @@ var SharedWrite = &Analyzer{
 
 // parallelRunners names the functions whose func-literal arguments run
 // concurrently on worker goroutines. parallelGrains is this codebase's
-// single fan-out primitive; anything spelled like a parallel driver is
-// treated the same so future runners are covered by default.
+// fan-out primitive and RunManyFunc its batched multi-root driver;
+// anything spelled like a parallel driver is treated the same so
+// future runners are covered by default.
 func isParallelRunner(name string) bool {
 	if name == "parallelGrains" {
 		return true
 	}
 	lower := strings.ToLower(name)
-	return strings.Contains(lower, "parallel") || strings.Contains(lower, "concurrent")
+	return strings.Contains(lower, "parallel") ||
+		strings.Contains(lower, "concurrent") ||
+		strings.Contains(lower, "runmany")
 }
 
 // claimMethods are methods whose success return implies exclusive

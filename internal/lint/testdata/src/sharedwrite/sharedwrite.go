@@ -99,3 +99,38 @@ func goodLocalOnly(queue []int32) {
 		_ = scratch
 	})
 }
+
+// runManyFunc mimics the repo's batched multi-root BFS driver: fn
+// runs concurrently on worker goroutines, each index delivered to
+// exactly one call. Anything named like a "runMany" driver is treated
+// as a parallel runner.
+func runManyFunc(roots []int32, fn func(i int, root int32) error) error {
+	var wg sync.WaitGroup
+	for i := range roots {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = fn(i, roots[i])
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
+// badBatchWrite races on a fixed slot from concurrent batch callbacks.
+func badBatchWrite(roots []int32, out []float64) {
+	_ = runManyFunc(roots, func(i int, root int32) error {
+		out[0] = float64(root) // want `write to captured "out"`
+		return nil
+	})
+}
+
+// goodBatchIndexedWrite is the RunManyFunc consumer idiom: the write
+// is indexed by the callback's own index parameter, which the driver
+// hands to exactly one call — the same exemption as a worker shard.
+func goodBatchIndexedWrite(roots []int32, out []float64) {
+	_ = runManyFunc(roots, func(i int, root int32) error {
+		out[i] = float64(root)
+		return nil
+	})
+}

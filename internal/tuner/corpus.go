@@ -77,6 +77,12 @@ func BuildCorpus(spec CorpusSpec, progress func(done, total int)) ([]Labeled, er
 	samples := make([]Labeled, 0, total)
 	done := 0
 
+	// One pooled workspace serves every traversal in the sweep: the
+	// M/N labelling crosses scales, and the workspace resizes in place
+	// instead of reallocating the working set per (graph, source).
+	ws := bfs.DefaultPool.Get(0)
+	defer bfs.DefaultPool.Put(ws)
+
 	for _, scale := range spec.Scales {
 		for _, ef := range spec.EdgeFactors {
 			for _, probs := range spec.ProbSets {
@@ -97,7 +103,7 @@ func BuildCorpus(spec CorpusSpec, progress func(done, total int)) ([]Labeled, er
 						if !ok {
 							continue
 						}
-						tr, err := bfs.TraceFrom(g, src)
+						tr, err := bfs.TraceFromWith(g, src, ws)
 						if err != nil {
 							return nil, fmt.Errorf("tuner: tracing scale-%d graph: %w", scale, err)
 						}
