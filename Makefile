@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race verify fuzz
+.PHONY: all build test lint race verify fuzz fuzz-faults
 
 all: verify
 
@@ -15,17 +15,18 @@ test:
 	$(GO) test ./...
 
 # lint runs go vet plus crossbfslint, the codebase-specific analyzer
-# suite (sharedwrite, atomicpair, indexarith, grainloop). See
-# internal/lint and the README's "Verification & static analysis".
+# suite (sharedwrite, atomicpair, indexarith, grainloop, ctxcheck).
+# See internal/lint and the README's "Verification & static analysis".
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/crossbfslint ./...
 
-# race exercises the concurrent kernels and the parallelGrains
-# scheduler under the race detector. bfs and bitmap are the packages
-# with goroutine-shared state; the rest of the tree is serial.
+# race exercises the concurrent kernels, the parallelGrains scheduler,
+# and the cancellation/fault paths under the race detector. bfs and
+# bitmap hold the goroutine-shared state; core drives the resilient
+# executor's context plumbing.
 race:
-	$(GO) test -race ./internal/bfs/... ./internal/bitmap/...
+	$(GO) test -race ./internal/bfs/... ./internal/bitmap/... ./internal/core/...
 
 verify: build lint test race
 
@@ -34,3 +35,9 @@ verify: build lint test race
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test ./internal/bfs/ -fuzz FuzzHeuristicSwitch -fuzztime $(FUZZTIME)
+
+# fuzz-faults throws arbitrary fault schedules at the resilient
+# executor: every outcome must be a validated traversal or a typed
+# *fault.Error — never a panic, never a wrong parent tree.
+fuzz-faults:
+	$(GO) test ./internal/core/ -fuzz FuzzFaultSchedule -fuzztime $(FUZZTIME)

@@ -1,11 +1,13 @@
 package crossbfs
 
 import (
+	"context"
 	"fmt"
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/core"
+	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
 	"crossbfs/internal/graph500"
 	"crossbfs/internal/rmat"
@@ -159,6 +161,76 @@ func BFSMany(g *Graph, roots []int32, opts ManyOptions) ([]*Result, error) {
 // pooled workspace and is only valid during the callback.
 func BFSEach(g *Graph, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
 	return bfs.RunManyFunc(g, roots, opts, fn)
+}
+
+// ---- Cancellation, deadlines, and fault tolerance ----
+
+// Fault-tolerance surface. A FaultSchedule is a deterministic,
+// seed-driven set of injected faults (device crashes, transient link
+// errors, kernel slowdowns); ResilientOptions carry it into the
+// executor together with the retry policy. See ExecuteResilient.
+type (
+	// FaultSchedule is a deterministic fault-injection registry.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+	// FaultError is the typed error returned when the degradation
+	// ladder is exhausted; match it with errors.As.
+	FaultError = fault.Error
+	// FaultRecord documents one fault event a resilient execution
+	// survived and the action taken.
+	FaultRecord = core.FaultRecord
+	// ResilientOptions configure fault-tolerant plan execution.
+	ResilientOptions = core.ResilientOptions
+)
+
+// ParseFaultSchedule builds a schedule from the CLI grammar, e.g.
+// "crash:GPU@4;transient:0.2;slow:CPU@2x1.5", seeded for reproducible
+// transient-error draws.
+func ParseFaultSchedule(spec string, seed uint64) (*FaultSchedule, error) {
+	return fault.Parse(spec, seed)
+}
+
+// BFSContext is BFS under a context: the traversal observes ctx at
+// every level boundary (and grain boundary in the parallel kernels)
+// and returns ctx.Err() promptly after cancellation or deadline
+// expiry. On error the partially-traversed state is discarded.
+func BFSContext(ctx context.Context, g *Graph, source int32) (*Result, error) {
+	return bfs.RunContext(ctx, g, source, bfs.Options{Policy: bfs.MN{M: 64, N: 64}})
+}
+
+// BFSWithContext is BFSWith under a context; see BFSContext for the
+// cancellation contract and BFSWith for workspace ownership.
+func BFSWithContext(ctx context.Context, g *Graph, source int32, e Engine, ws *Workspace) (*Result, error) {
+	if e == nil {
+		e = bfs.DefaultEngine()
+	}
+	return e.RunContext(ctx, g, source, ws)
+}
+
+// BFSManyContext is BFSMany under a context: cancellation stops the
+// dispatch of further roots, in-flight traversals stop at their next
+// level boundary, and ctx.Err() is returned.
+func BFSManyContext(ctx context.Context, g *Graph, roots []int32, opts ManyOptions) ([]*Result, error) {
+	return bfs.RunManyContext(ctx, g, roots, opts)
+}
+
+// BFSEachContext is BFSEach under a context; each index is delivered
+// at most once, and the batch fails fast on the first error or cancel.
+func BFSEachContext(ctx context.Context, g *Graph, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
+	return bfs.RunManyFuncContext(ctx, g, roots, opts, fn)
+}
+
+// ExecuteResilient runs a plan under a context and a fault schedule:
+// real, validated host kernels drive the traversal while the simulator
+// prices each step, degrading through the fault ladder — retry
+// transient link errors with capped backoff, replan crashed devices'
+// steps onto survivors, fail with a typed *FaultError only when no
+// device survives. The Timing reports Retries, Replans, and every
+// fault event.
+func ExecuteResilient(ctx context.Context, g *Graph, source int32, plan Plan, opts ResilientOptions) (*Result, *Timing, error) {
+	res, _, timing, err := core.ExecuteResilient(ctx, g, source, plan, archsim.PCIe(), opts)
+	return res, timing, err
 }
 
 // ValidateBFS checks a result against the Graph 500 validation rules.

@@ -1,0 +1,106 @@
+package crossbfs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBFSContextFacade(t *testing.T) {
+	g, err := GenerateRMAT(10, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			src = int32(v)
+			break
+		}
+	}
+
+	r, err := BFSContext(context.Background(), g, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(g, r); err != nil {
+		t.Fatal(err)
+	}
+
+	// A context cancelled up front must surface verbatim everywhere.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BFSContext(cancelled, g, src); !errors.Is(err, context.Canceled) {
+		t.Errorf("BFSContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := BFSWithContext(cancelled, g, src, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("BFSWithContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := BFSManyContext(cancelled, g, []int32{src}, ManyOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("BFSManyContext: err = %v, want context.Canceled", err)
+	}
+
+	// An expired deadline comes back as DeadlineExceeded.
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	time.Sleep(time.Millisecond)
+	if _, err := BFSContext(expired, g, src); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("BFSContext deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestExecuteResilientFacade(t *testing.T) {
+	g, err := GenerateRMAT(10, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := int32(0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(int32(v)) > 0 {
+			src = int32(v)
+			break
+		}
+	}
+	plan := NewCrossPlan(CPU(), GPU(), 64, 64, 64, 64)
+
+	// Clean run: no degradation reported.
+	r, timing, err := ExecuteResilient(context.Background(), g, src, plan, ResilientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if timing.Degraded() {
+		t.Errorf("clean run degraded: %+v", timing.Faults)
+	}
+
+	// GPU dead from the start: the run must complete on the CPU with
+	// the replan visible in the timing.
+	sched, err := ParseFaultSchedule("crash:GPU@1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, timing, err = ExecuteResilient(context.Background(), g, src, plan, ResilientOptions{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBFS(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if timing.Replans == 0 || len(timing.Faults) == 0 {
+		t.Errorf("Replans = %d, Faults = %v; want the crash recorded", timing.Replans, timing.Faults)
+	}
+
+	// Everything dead: typed error.
+	allDead, err := ParseFaultSchedule("crash:CPU@1;crash:GPU@1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ExecuteResilient(context.Background(), g, src, plan, ResilientOptions{Schedule: allDead})
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("all-dead: err = %v (%T), want *FaultError", err, err)
+	}
+}

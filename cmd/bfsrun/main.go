@@ -7,79 +7,122 @@
 //	bfsrun -scale 17 -edgefactor 16 -plan all
 //	bfsrun -scale 17 -plan cputd+gpucb -m1 64 -n1 64 -m2 64 -n2 64
 //	bfsrun -graph g.csr -plan gpucb -m2 32 -n2 32
+//	bfsrun -scale 17 -plan cputd+gpucb -faults 'crash:KeplerK20x@4' -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/core"
+	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
 	"crossbfs/internal/rmat"
 )
 
+// config carries every knob of one bfsrun invocation so tests can
+// drive run() without a flag set.
+type config struct {
+	scale      int
+	edgeFactor int
+	seed       uint64
+	graphPath  string
+	source     int
+	planName   string
+	m1, n1     float64
+	m2, n2     float64
+	perLevel   bool
+	showTrace  bool
+	// timeout bounds the whole run (0 = none); the traversal checks
+	// the deadline at every level boundary.
+	timeout time.Duration
+	// faults is a fault-schedule spec (see fault.Parse); when set the
+	// plans are priced with the resilient simulator and the timing
+	// report includes retries, replans, and the fault log.
+	faults    string
+	faultSeed uint64
+}
+
 func main() {
-	var (
-		scale      = flag.Int("scale", 16, "R-MAT SCALE (log2 vertices) when generating")
-		edgeFactor = flag.Int("edgefactor", 16, "R-MAT edge factor when generating")
-		seed       = flag.Uint64("seed", 1, "R-MAT seed")
-		graphPath  = flag.String("graph", "", "load a CSR graph file instead of generating")
-		source     = flag.Int("source", -1, "source vertex (-1 = first non-isolated)")
-		planName   = flag.String("plan", "all", "plan: gputd, gpubu, gpucb, cputd, cpubu, cpucb, miccb, cputd+gpubu, cputd+gpucb, or 'all'")
-		m1         = flag.Float64("m1", 64, "host/cross M threshold")
-		n1         = flag.Float64("n1", 64, "host/cross N threshold")
-		m2         = flag.Float64("m2", 64, "coprocessor M threshold")
-		n2         = flag.Float64("n2", 64, "coprocessor N threshold")
-		perLevel   = flag.Bool("levels", true, "print per-level timings")
-		showTrace  = flag.Bool("trace", false, "print per-level work counts (|V|cq, |E|cq, scans)")
-	)
+	var cfg config
+	flag.IntVar(&cfg.scale, "scale", 16, "R-MAT SCALE (log2 vertices) when generating")
+	flag.IntVar(&cfg.edgeFactor, "edgefactor", 16, "R-MAT edge factor when generating")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "R-MAT seed")
+	flag.StringVar(&cfg.graphPath, "graph", "", "load a CSR graph file instead of generating")
+	flag.IntVar(&cfg.source, "source", -1, "source vertex (-1 = first non-isolated)")
+	flag.StringVar(&cfg.planName, "plan", "all", "plan: gputd, gpubu, gpucb, cputd, cpubu, cpucb, miccb, cputd+gpubu, cputd+gpucb, or 'all'")
+	flag.Float64Var(&cfg.m1, "m1", 64, "host/cross M threshold")
+	flag.Float64Var(&cfg.n1, "n1", 64, "host/cross N threshold")
+	flag.Float64Var(&cfg.m2, "m2", 64, "coprocessor M threshold")
+	flag.Float64Var(&cfg.n2, "n2", 64, "coprocessor N threshold")
+	flag.BoolVar(&cfg.perLevel, "levels", true, "print per-level timings")
+	flag.BoolVar(&cfg.showTrace, "trace", false, "print per-level work counts (|V|cq, |E|cq, scans)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
+	flag.StringVar(&cfg.faults, "faults", "", "fault schedule, e.g. 'crash:KeplerK20x@4;transient:0.1'")
+	flag.Uint64Var(&cfg.faultSeed, "faultseed", 1, "seed for transient-fault draws")
 	flag.Parse()
 
-	if err := run(*scale, *edgeFactor, *seed, *graphPath, *source, *planName, *m1, *n1, *m2, *n2, *perLevel, *showTrace); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale, edgeFactor int, seed uint64, graphPath string, source int, planName string, m1, n1, m2, n2 float64, perLevel, showTrace bool) error {
-	// Validate the plan selection before paying for graph generation.
-	plans, err := selectPlans(planName, m1, n1, m2, n2)
+func run(ctx context.Context, cfg config) error {
+	// Validate the cheap inputs (plan name, fault spec) before paying
+	// for graph generation.
+	plans, err := selectPlans(cfg.planName, cfg.m1, cfg.n1, cfg.m2, cfg.n2)
 	if err != nil {
 		return err
 	}
+	var sched *fault.Schedule
+	if cfg.faults != "" {
+		sched, err = fault.Parse(cfg.faults, cfg.faultSeed)
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
 
 	var g *graph.CSR
-	if graphPath != "" {
-		g, err = graph.Load(graphPath)
+	if cfg.graphPath != "" {
+		g, err = graph.Load(cfg.graphPath)
 	} else {
-		p := rmat.DefaultParams(scale, edgeFactor)
-		p.Seed = seed
+		p := rmat.DefaultParams(cfg.scale, cfg.edgeFactor)
+		p.Seed = cfg.seed
 		g, err = rmat.Generate(p)
 	}
 	if err != nil {
 		return err
 	}
 
-	src, err := pickSource(g, source)
+	src, err := pickSource(g, cfg.source)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d vertices, %d directed edges, source %d\n", g.NumVertices(), g.NumEdges(), src)
 
 	ws := bfs.DefaultPool.Get(g.NumVertices())
-	tr, err := bfs.TraceFromWith(g, src, ws)
+	tr, err := bfs.TraceFromContext(ctx, g, src, ws)
 	bfs.DefaultPool.Put(ws)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("traversal: depth %d, %d reachable, %d edges visited\n\n", tr.Depth(), tr.Reachable, tr.EdgesVisited)
 
-	if showTrace {
+	if cfg.showTrace {
 		for _, s := range tr.Steps {
 			fmt.Printf("step %d: |V|cq=%d |E|cq=%d discovered=%d unvisited=%d buScans=%d meanScan=%.1f\n",
 				s.Step, s.FrontierVertices, s.FrontierEdges, s.Discovered, s.UnvisitedVertices, s.BottomUpScans, s.MeanScan())
@@ -91,12 +134,32 @@ func run(scale, edgeFactor int, seed uint64, graphPath string, source int, planN
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	var baseline float64
 	for _, pl := range plans {
-		t := core.Simulate(tr, pl, link)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t, err := price(tr, pl, link, sched)
+		if err != nil {
+			var fe *fault.Error
+			if errors.As(err, &fe) {
+				// The plan cannot survive the schedule: report it and
+				// keep pricing the remaining plans.
+				fmt.Fprintf(w, "%s\tFAILED\t%v\n", pl.Name(), err)
+				continue
+			}
+			return err
+		}
 		if baseline == 0 {
 			baseline = t.Total
 		}
-		fmt.Fprintf(w, "%s\ttotal %.6fs\tspeedup %.1fx\tGTEPS %.3f\n", t.Plan, t.Total, baseline/t.Total, t.GTEPS())
-		if perLevel {
+		fmt.Fprintf(w, "%s\ttotal %.6fs\tspeedup %.1fx\tGTEPS %.3f", t.Plan, t.Total, baseline/t.Total, t.GTEPS())
+		if t.Degraded() {
+			fmt.Fprintf(w, "\tretries %d replans %d", t.Retries, t.Replans)
+		}
+		fmt.Fprintln(w)
+		for _, f := range t.Faults {
+			fmt.Fprintf(w, "\tfault\t%s\n", f)
+		}
+		if cfg.perLevel {
 			for _, st := range t.Steps {
 				fmt.Fprintf(w, "\tlevel %d\t%s %s\t%.6fs", st.Step, st.Kind, st.Dir, st.Kernel)
 				if st.Transfer > 0 {
@@ -107,6 +170,16 @@ func run(scale, edgeFactor int, seed uint64, graphPath string, source int, planN
 		}
 	}
 	return w.Flush()
+}
+
+// price runs the clean simulator, or the resilient one when a fault
+// schedule is in play. SimulateResilient re-arms the schedule itself,
+// so one schedule prices every plan with identical transient draws.
+func price(tr *bfs.Trace, pl core.Plan, link archsim.Link, sched *fault.Schedule) (*core.Timing, error) {
+	if sched == nil {
+		return core.Simulate(tr, pl, link), nil
+	}
+	return core.SimulateResilient(tr, pl, link, core.ResilientOptions{Schedule: sched})
 }
 
 func pickSource(g *graph.CSR, requested int) (int32, error) {

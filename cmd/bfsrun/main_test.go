@@ -1,26 +1,44 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"crossbfs/internal/rmat"
 )
 
+func cfg(scale int, plan string) config {
+	return config{
+		scale:      scale,
+		edgeFactor: 8,
+		seed:       1,
+		source:     -1,
+		planName:   plan,
+		m1:         64, n1: 64, m2: 64, n2: 64,
+		faultSeed: 1,
+	}
+}
+
 func TestRunAllPlans(t *testing.T) {
-	if err := run(10, 8, 1, "", -1, "all", 64, 64, 64, 64, true, true); err != nil {
+	c := cfg(10, "all")
+	c.perLevel = true
+	c.showTrace = true
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSinglePlan(t *testing.T) {
-	if err := run(9, 8, 1, "", -1, "cputd+gpucb", 64, 64, 64, 64, false, false); err != nil {
+	if err := run(context.Background(), cfg(9, "cputd+gpucb")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownPlan(t *testing.T) {
-	if err := run(8, 8, 1, "", -1, "warpdrive", 64, 64, 64, 64, false, false); err == nil {
+	if err := run(context.Background(), cfg(8, "warpdrive")); err == nil {
 		t.Error("unknown plan accepted")
 	}
 }
@@ -34,14 +52,46 @@ func TestRunFromGraphFile(t *testing.T) {
 	if err := g.Save(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0, 0, 0, path, -1, "cpucb", 64, 64, 64, 64, false, false); err != nil {
+	c := cfg(0, "cpucb")
+	c.graphPath = path
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadSource(t *testing.T) {
-	if err := run(8, 8, 1, "", 1<<20, "cpucb", 64, 64, 64, 64, false, false); err == nil {
+	c := cfg(8, "cpucb")
+	c.source = 1 << 20
+	if err := run(context.Background(), c); err == nil {
 		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestRunBadFaultSpec(t *testing.T) {
+	c := cfg(8, "cpucb")
+	c.faults = "meltdown:everything"
+	if err := run(context.Background(), c); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	// A dead GPU must not abort the run: cross plans replan onto the
+	// host, GPU-only plans report FAILED, and the command still exits
+	// cleanly.
+	c := cfg(10, "all")
+	c.faults = "crash:KeplerK20x@1;transient:0.2"
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimeoutExpired(t *testing.T) {
+	c := cfg(10, "all")
+	c.timeout = time.Nanosecond
+	err := run(context.Background(), c)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
 

@@ -6,11 +6,12 @@
 //	experiments -run fig8
 //
 // Experiment ids: fig1, fig2, fig3, table3, fig8, table4, table5,
-// fig9, fig10a, fig10b, table6, comparisons, all. See EXPERIMENTS.md
-// for the paper-vs-measured record.
+// fig9, fig10a, fig10b, table6, comparisons, faults, all. See
+// EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,31 +26,59 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, realtable4, all)")
+		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, realtable4, faults, all)")
 		scale      = flag.Int("scale", 0, "override base SCALE (default 17)")
 		edgeFactor = flag.Int("edgefactor", 0, "override base edge factor (default 16)")
 		seed       = flag.Uint64("seed", 0, "override R-MAT seed (default 1)")
 		numRoots   = flag.Int("roots", 0, "override Graph500 root count (default 16)")
 		modelPath  = flag.String("model", "", "load a trained switching-point model (fig8) instead of training one")
 		csvDir     = flag.String("csv", "", "also write figure data as <id>.csv files into this directory")
+		timeout    = flag.Duration("timeout", 0, "abort the suite after this duration (0 = no limit); checked between experiments")
+		faults     = flag.String("faults", "", "fault schedule for the faults experiment (default: built-in scenario ladder)")
+		faultSeed  = flag.Uint64("faultseed", 1, "seed for transient-fault draws in the faults experiment")
 	)
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	cfg := exp.Config{Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed, NumRoots: *numRoots}
-	if err := dispatch(*run, cfg, *modelPath, *csvDir); err != nil {
+	opts := runOpts{modelPath: *modelPath, csvDir: *csvDir, faultSpec: *faults, faultSeed: *faultSeed}
+	if err := dispatch(ctx, *run, cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(run string, cfg exp.Config, modelPath, csvDir string) error {
+// runOpts carries the per-invocation extras that are not experiment
+// parameters proper.
+type runOpts struct {
+	modelPath string
+	csvDir    string
+	faultSpec string
+	faultSeed uint64
+}
+
+func dispatch(ctx context.Context, run string, cfg exp.Config, opts runOpts) error {
 	ids := []string{run}
 	if run == "all" {
+		// The faults experiment is opt-in: it reprices one workload
+		// under synthetic failures rather than reproducing a paper
+		// artifact, so it does not belong in the replication sweep.
 		ids = []string{"fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9", "fig10a", "fig10b", "table6", "comparisons", "heuristics", "multi", "realtable4"}
 	}
 	for _, id := range ids {
+		// The deadline cuts the suite at an experiment boundary so
+		// whatever already printed stays a complete artifact.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fmt.Printf("==== %s ====\n", strings.ToUpper(id))
-		if err := runOne(id, cfg, modelPath, csvDir); err != nil {
+		if err := runOne(ctx, id, cfg, opts); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println()
@@ -57,7 +86,8 @@ func dispatch(run string, cfg exp.Config, modelPath, csvDir string) error {
 	return nil
 }
 
-func runOne(id string, cfg exp.Config, modelPath, csvDir string) error {
+func runOne(ctx context.Context, id string, cfg exp.Config, opts runOpts) error {
+	modelPath, csvDir := opts.modelPath, opts.csvDir
 	w := os.Stdout
 
 	// csvSink opens <csvDir>/<id>.csv when -csv is set; emit runs the
@@ -190,6 +220,15 @@ func runOne(id string, cfg exp.Config, modelPath, csvDir string) error {
 			return err
 		}
 		return r.Render(w)
+	case "faults":
+		rows, err := exp.FaultTolerance(ctx, cfg, opts.faultSpec, opts.faultSeed)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.FaultToleranceCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderFaultTolerance(w, rows)
 	case "multi":
 		for _, kind := range []archsim.Kind{archsim.MIC, archsim.GPU} {
 			rows, err := exp.MultiCoprocessorScaling(cfg, kind, 3)

@@ -1,45 +1,64 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"crossbfs/internal/exp"
 )
 
 var testCfg = exp.Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
 
+func noOpts() runOpts { return runOpts{faultSeed: 1} }
+
 func TestRunOneLightExperiments(t *testing.T) {
 	for _, id := range []string{"fig1", "fig3", "table5"} {
-		if err := runOne(id, testCfg, "", ""); err != nil {
+		if err := runOne(context.Background(), id, testCfg, noOpts()); err != nil {
 			t.Errorf("%s: %v", id, err)
 		}
 	}
 }
 
 func TestRunOneUnknown(t *testing.T) {
-	if err := runOne("fig99", testCfg, "", ""); err == nil {
+	if err := runOne(context.Background(), "fig99", testCfg, noOpts()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestDispatchSingle(t *testing.T) {
-	if err := dispatch("fig3", testCfg, "", ""); err != nil {
+	if err := dispatch(context.Background(), "fig3", testCfg, noOpts()); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestDispatchTimeoutExpired(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	err := dispatch(ctx, "fig3", testCfg, noOpts())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
 func TestRunOneFig8MissingModel(t *testing.T) {
-	if err := runOne("fig8", testCfg, "/nonexistent/model.gob", ""); err == nil {
+	opts := noOpts()
+	opts.modelPath = "/nonexistent/model.gob"
+	if err := runOne(context.Background(), "fig8", testCfg, opts); err == nil {
 		t.Error("missing model file accepted")
 	}
 }
 
 func TestRunOneCSVOutput(t *testing.T) {
 	dir := t.TempDir()
-	if err := runOne("fig3", testCfg, "", dir); err != nil {
+	opts := noOpts()
+	opts.csvDir = dir
+	if err := runOne(context.Background(), "fig3", testCfg, opts); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
@@ -52,7 +71,33 @@ func TestRunOneCSVOutput(t *testing.T) {
 }
 
 func TestRunOneCSVBadDir(t *testing.T) {
-	if err := runOne("fig3", testCfg, "", "/nonexistent/place"); err == nil {
+	opts := noOpts()
+	opts.csvDir = "/nonexistent/place"
+	if err := runOne(context.Background(), "fig3", testCfg, opts); err == nil {
 		t.Error("unwritable csv dir accepted")
+	}
+}
+
+func TestRunOneFaults(t *testing.T) {
+	dir := t.TempDir()
+	opts := noOpts()
+	opts.csvDir = dir
+	if err := runOne(context.Background(), "faults", testCfg, opts); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "faults.csv"))
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "scenario,total_s,overhead") {
+		t.Errorf("csv header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestRunOneFaultsBadSpec(t *testing.T) {
+	opts := noOpts()
+	opts.faultSpec = "meltdown:everything"
+	if err := runOne(context.Background(), "faults", testCfg, opts); err == nil {
+		t.Error("malformed fault spec accepted")
 	}
 }

@@ -241,3 +241,31 @@ func TestMICSlowerThanCPUOverall(t *testing.T) {
 		t.Errorf("parallel MIC/CPU top-down ratio = %.2f, want >= 1.5", r)
 	}
 }
+
+func TestSlowedDeratesStepTimes(t *testing.T) {
+	cpu := SandyBridge()
+	slow := cpu.Slowed(3)
+	if slow.Name != cpu.Name {
+		t.Errorf("Slowed changed Name to %q; device identity must survive a slowdown", slow.Name)
+	}
+	for _, dir := range []bfs.Direction{bfs.TopDown, bfs.BottomUp} {
+		fast, slowT := cpu.StepTime(dir, midLevel), slow.StepTime(dir, midLevel)
+		if slowT <= fast {
+			t.Errorf("%v: slowed step time %g not above nominal %g", dir, slowT, fast)
+		}
+		// Launch overhead is not derated, so the ratio is bounded by
+		// the factor but must reflect most of it on a mid-size level.
+		if ratio := slowT / fast; ratio > 3.0001 || ratio < 1.2 {
+			t.Errorf("%v: slowdown ratio %.2f, want in (1.2, 3]", dir, ratio)
+		}
+	}
+}
+
+func TestSlowedIdentityBelowOne(t *testing.T) {
+	cpu := SandyBridge()
+	for _, f := range []float64{1, 0.5, 0, -2, math.NaN()} {
+		if got := cpu.Slowed(f); got != cpu {
+			t.Errorf("Slowed(%g) modified the arch", f)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package archsim
+
+// Fault-degradation hooks. The fault injector (internal/fault) models
+// a slowed device — thermal throttling, a contended bus, a neighbor
+// job — as a uniform throughput derating; the resilient executor
+// prices the affected steps on the derated copy. Keeping the hooks
+// here keeps the cost model the single owner of Arch arithmetic.
+
+// Slowed returns a copy of a with every throughput channel derated by
+// factor: the per-direction peak rates, the serial and per-thread
+// rates, and the measured memory bandwidth all divide by factor, so a
+// factor-2 slowdown roughly doubles every step time regardless of
+// whether the step is memory- or compute-bound. Launch overhead is
+// unchanged (a stalled pipeline does not slow the host-side launch
+// path). The Name is deliberately kept, because plan steppers and the
+// fault schedule identify devices by Name; a slowed device is still
+// the same device. factor <= 1 returns a unchanged.
+func (a Arch) Slowed(factor float64) Arch {
+	if !(factor > 1) { // catches <= 1 and NaN
+		return a
+	}
+	s := a
+	s.TDRate = a.TDRate / factor
+	s.BURate = a.BURate / factor
+	s.SerialRate = a.SerialRate / factor
+	s.ThreadRate = a.ThreadRate / factor
+	s.MeasuredBW = a.MeasuredBW / factor
+	return s
+}
+
+// Degraded returns a copy of l with its bandwidth divided by factor
+// and its fixed latency multiplied by factor — the shape of a PCIe
+// link that has dropped to a lower generation or is retrying at the
+// transaction layer. A zero-cost SameDevice link stays zero-cost.
+// factor <= 1 returns l unchanged.
+func (l Link) Degraded(factor float64) Link {
+	if !(factor > 1) {
+		return l
+	}
+	d := l
+	d.BandwidthGBs = l.BandwidthGBs / factor
+	d.LatencySeconds = l.LatencySeconds * factor
+	return d
+}

@@ -47,3 +47,29 @@ func TestTransferMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDegradedSlowsTransfers(t *testing.T) {
+	l := PCIe()
+	d := l.Degraded(4)
+	if got, want := d.TransferTime(1<<20), l.TransferTime(1<<20); got <= want {
+		t.Errorf("degraded transfer %g not above nominal %g", got, want)
+	}
+	if d.LatencySeconds <= l.LatencySeconds {
+		t.Errorf("degraded latency %g not above nominal %g", d.LatencySeconds, l.LatencySeconds)
+	}
+}
+
+func TestDegradedKeepsSameDeviceFree(t *testing.T) {
+	if got := SameDevice().Degraded(8).TransferTime(1 << 30); got != 0 {
+		t.Errorf("degraded same-device transfer = %g, want 0", got)
+	}
+}
+
+func TestDegradedIdentityBelowOne(t *testing.T) {
+	l := PCIe()
+	for _, f := range []float64{1, 0.25, 0, -1} {
+		if got := l.Degraded(f); got != l {
+			t.Errorf("Degraded(%g) modified the link", f)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync/atomic"
 
 	"crossbfs/internal/bitmap"
@@ -19,13 +20,18 @@ const buGrain = 4096
 // cleared). Returns the number of vertices discovered and the number
 // of edges scanned — the quantity the paper bounds by |E|un and the
 // simulator prices.
-func bottomUpLevel(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap, level int32, workers int) (found, scans int64) {
+//
+// Cancellation is observed at grain boundaries (see parallelGrains);
+// on error the counts are meaningless and the caller must abandon the
+// traversal.
+func bottomUpLevel(ctx context.Context, g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap, level int32, workers int) (found, scans int64, err error) {
 	n := g.NumVertices()
 	if resolveWorkers(workers, (n+buGrain-1)/buGrain) == 1 {
-		return bottomUpLevelSerial(g, r, visited, front, next, level)
+		found, scans = bottomUpLevelSerial(g, r, visited, front, next, level)
+		return found, scans, nil
 	}
 	var foundTotal, scanTotal atomic.Int64
-	parallelGrains(n, buGrain, workers, func(_, start, end int) {
+	err = parallelGrains(ctx, n, buGrain, workers, func(_, start, end int) {
 		var localFound, localScans int64
 		for v := start; v < end; v++ {
 			if visited.Get(v) {
@@ -49,7 +55,10 @@ func bottomUpLevel(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap,
 		foundTotal.Add(localFound)
 		scanTotal.Add(localScans)
 	})
-	return foundTotal.Load(), scanTotal.Load()
+	if err != nil {
+		return 0, 0, err
+	}
+	return foundTotal.Load(), scanTotal.Load(), nil
 }
 
 func bottomUpLevelSerial(g *graph.CSR, r *Result, visited, front, next *bitmap.Bitmap, level int32) (found, scans int64) {

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sort"
 
 	"crossbfs/internal/bitmap"
@@ -22,8 +23,9 @@ const epGrain = 2048
 // topDownLevelEdgeParallel expands one level top-down with
 // edge-parallel work division. Semantics match topDownLevel; the
 // prefix-sum and shard buffers come from ws so the level loop stops
-// allocating once the traversal warms up.
-func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) []int32 {
+// allocating once the traversal warms up. Cancellation is observed at
+// grain boundaries; on error the traversal must be abandoned.
+func topDownLevelEdgeParallel(ctx context.Context, g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) ([]int32, error) {
 	// Degree prefix sum over the frontier.
 	prefix := ws.prefixBuf(len(queue) + 1)
 	prefix[0] = 0
@@ -32,15 +34,15 @@ func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, q
 	}
 	totalEdges := prefix[len(queue)]
 	if totalEdges == 0 {
-		return out
+		return out, nil
 	}
 	nworkers := resolveWorkers(workers, int(totalEdges/epGrain)+1)
 	if nworkers == 1 {
-		return topDownLevelSerial(g, r, visited, queue, out, level)
+		return topDownLevelSerial(g, r, visited, queue, out, level), nil
 	}
 
 	locals := ws.workerShards(nworkers)
-	parallelGrains(int(totalEdges), epGrain, nworkers, func(worker, start, end int) {
+	err := parallelGrains(ctx, int(totalEdges), epGrain, nworkers, func(worker, start, end int) {
 		local := locals[worker]
 		// First frontier vertex whose edge range intersects [start, end).
 		qi := sort.Search(len(queue), func(i int) bool { return prefix[i+1] > int64(start) })
@@ -63,11 +65,14 @@ func topDownLevelEdgeParallel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, q
 		}
 		locals[worker] = local
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	for _, l := range locals {
 		out = append(out, l...)
 	}
-	return out
+	return out, nil
 }
 
 func min64(a, b int64) int64 {
@@ -91,6 +96,12 @@ func (edgeParallelEngine) Name() string { return "edgeparallel" }
 
 // Run implements Engine.
 func (e edgeParallelEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunContext(context.Background(), g, source, ws)
+}
+
+// RunContext implements Engine.
+func (e edgeParallelEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (_ *Result, err error) {
+	defer func() { recoverToError(recover(), &err) }()
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
@@ -104,7 +115,13 @@ func (e edgeParallelEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Res
 	spare := ws.spare
 	level := int32(1)
 	for len(queue) > 0 {
-		out := topDownLevelEdgeParallel(g, r, visited, queue, spare[:0], level, e.workers, ws)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out, err := topDownLevelEdgeParallel(ctx, g, r, visited, queue, spare[:0], level, e.workers, ws)
+		if err != nil {
+			return nil, err
+		}
 		queue, spare = out, queue
 		r.Directions = append(r.Directions, TopDown)
 		r.StepScans = append(r.StepScans, 0)

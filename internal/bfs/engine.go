@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"fmt"
 
 	"crossbfs/internal/graph"
@@ -25,6 +26,13 @@ type Engine interface {
 	// the workspace's next traversal, so Clone it (or finish consuming
 	// it) before reusing the workspace.
 	Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error)
+	// RunContext is Run under a context: the traversal observes ctx at
+	// level boundaries (and grain boundaries in parallel kernels) and
+	// returns ctx.Err() promptly on cancellation or deadline expiry.
+	// Panics inside the traversal are contained and returned as a
+	// *PanicError. On error the workspace is quiescent and safe to
+	// reuse or return to a pool.
+	RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error)
 }
 
 // policyEngine is the direction-policy-driven level-synchronized
@@ -45,12 +53,17 @@ func (e *policyEngine) Name() string { return e.name }
 
 // Run implements Engine.
 func (e *policyEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunContext(context.Background(), g, source, ws)
+}
+
+// RunContext implements Engine.
+func (e *policyEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
 	pol := e.policy
 	if e.newPolicy != nil {
 		pol = e.newPolicy()
 	}
 	opts := Options{Policy: pol, Workers: e.workers, CheckInvariants: e.checkInvariants}
-	return RunWith(g, source, opts, ws)
+	return RunWithContext(ctx, g, source, opts, ws)
 }
 
 // TopDownEngine returns the pure top-down baseline (paper Algorithm 1)

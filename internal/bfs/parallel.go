@@ -1,10 +1,39 @@
 package bfs
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic recovered inside a traversal — a worker
+// goroutine or the level loop itself. Converting panics to errors is
+// part of the fault-containment contract: a bug (or an injected
+// fault) in one traversal must fail that traversal, not kill a
+// process serving many.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("bfs: traversal panicked: %v", e.Value)
+}
+
+// recoverToError converts a recovered panic value into a *PanicError,
+// capturing the stack. Call as: defer func() { recoverToError(recover(), &err) }().
+func recoverToError(v any, dst *error) {
+	if v == nil {
+		return
+	}
+	*dst = &PanicError{Value: v, Stack: debug.Stack()}
+}
 
 // resolveWorkers maps the user-facing worker count (0 = automatic) to
 // an effective one, never exceeding the amount of work available.
@@ -26,25 +55,81 @@ func resolveWorkers(requested, workItems int) int {
 // claimed dynamically by workers — dynamic scheduling because R-MAT
 // frontiers have wildly skewed per-vertex work (a handful of hub
 // vertices own most edges).
-func parallelGrains(n, grain, workers int, fn func(worker, start, end int)) {
+//
+// Cancellation and containment contract: workers observe ctx between
+// grain claims, so a cancel is honored within one grain of work; a
+// panicking worker is recovered and surfaced as a *PanicError. In
+// both cases every worker goroutine has exited by the time
+// parallelGrains returns (the WaitGroup is unconditional), so callers
+// never leak goroutines and the caller's buffers are quiescent — safe
+// to reset and return to a pool.
+//
+// The first stop cause wins: ctx.Err() for cancellation, *PanicError
+// for a worker panic. fn must tolerate having processed only a prefix
+// of the grains when an error is returned.
+func parallelGrains(ctx context.Context, n, grain, workers int, fn func(worker, start, end int)) (err error) {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if grain < 1 {
 		grain = 1
 	}
 	workers = resolveWorkers(workers, (n+grain-1)/grain)
+	done := ctx.Done()
 	if workers == 1 {
-		fn(0, 0, n)
-		return
+		// Inline fast path: no goroutines, but the same per-grain
+		// cancellation points and panic containment as the fan-out path.
+		defer func() { recoverToError(recover(), &err) }()
+		for start := 0; start < n; start += grain {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			fn(0, start, end)
+		}
+		return nil
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
+
+	var (
+		cursor   atomic.Int64
+		stop     atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(e error) {
+		errOnce.Do(func() { firstErr = e })
+		stop.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// A panic in fn must not escape the goroutine (it would
+			// kill the process); convert it to the traversal's error
+			// and stop the other workers at their next grain claim.
+			defer func() {
+				if v := recover(); v != nil {
+					var perr error
+					recoverToError(v, &perr)
+					fail(perr)
+				}
+			}()
 			for {
+				if stop.Load() {
+					return
+				}
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
 				start := int(cursor.Add(int64(grain))) - grain
 				if start >= n {
 					return
@@ -58,4 +143,5 @@ func parallelGrains(n, grain, workers int, fn func(worker, start, end int)) {
 		}(w)
 	}
 	wg.Wait()
+	return firstErr
 }

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,7 +39,7 @@ func TestResolveWorkers(t *testing.T) {
 func coverageOf(n, grain, workers int) (counts []int32, calls int64) {
 	counts = make([]int32, max(n, 0))
 	var callCount atomic.Int64
-	parallelGrains(n, grain, workers, func(worker, start, end int) {
+	parallelGrains(context.Background(), n, grain, workers, func(worker, start, end int) {
 		callCount.Add(1)
 		for i := start; i < end; i++ {
 			atomic.AddInt32(&counts[i], 1)
@@ -81,15 +82,24 @@ func TestParallelGrainsEdgeCases(t *testing.T) {
 	}
 }
 
-func TestParallelGrainsSingleWorkerOneCall(t *testing.T) {
-	// The single-worker fast path must hand the whole range to the
-	// callback in one shot: fn(0, 0, n), no goroutines, no chunking.
+func TestParallelGrainsSingleWorkerInOrder(t *testing.T) {
+	// The single-worker fast path spawns no goroutines but still walks
+	// the range grain by grain — each grain boundary is a cancellation
+	// point — in ascending order on worker 0.
 	var calls []([3]int)
-	parallelGrains(50, 8, 1, func(worker, start, end int) {
+	if err := parallelGrains(context.Background(), 50, 8, 1, func(worker, start, end int) {
 		calls = append(calls, [3]int{worker, start, end})
-	})
-	if len(calls) != 1 || calls[0] != [3]int{0, 0, 50} {
-		t.Errorf("single-worker calls = %v, want one fn(0, 0, 50)", calls)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][3]int{{0, 0, 8}, {0, 8, 16}, {0, 16, 24}, {0, 24, 32}, {0, 32, 40}, {0, 40, 48}, {0, 48, 50}}
+	if len(calls) != len(want) {
+		t.Fatalf("single-worker calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("call %d = %v, want %v", i, calls[i], want[i])
+		}
 	}
 }
 
@@ -98,7 +108,7 @@ func TestParallelGrainsWorkerIDsInRange(t *testing.T) {
 	// stay within [0, effective workers).
 	const n, grain, workers = 1000, 7, 5
 	var bad atomic.Int32
-	parallelGrains(n, grain, workers, func(worker, start, end int) {
+	parallelGrains(context.Background(), n, grain, workers, func(worker, start, end int) {
 		if worker < 0 || worker >= workers {
 			bad.Add(1)
 		}
@@ -120,7 +130,7 @@ func TestParallelGrainsSharedCounterStress(t *testing.T) {
 		touched := make([]int32, n)
 		var mu sync.Mutex
 		order := 0
-		parallelGrains(n, 64, workers, func(worker, start, end int) {
+		parallelGrains(context.Background(), n, 64, workers, func(worker, start, end int) {
 			shared.Add(int64(end - start))
 			for i := start; i < end; i++ {
 				touched[i]++ // safe without atomics iff grains are disjoint

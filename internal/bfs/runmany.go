@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -45,8 +46,14 @@ func (o ManyOptions) withDefaults() ManyOptions {
 // do; with Workers: 1 engines, RunMany(g, roots) is element-wise
 // identical to len(roots) independent Run calls.
 func RunMany(g *graph.CSR, roots []int32, opts ManyOptions) ([]*Result, error) {
+	return RunManyContext(context.Background(), g, roots, opts)
+}
+
+// RunManyContext is RunMany under a context; see RunManyFuncContext
+// for the cancellation contract.
+func RunManyContext(ctx context.Context, g *graph.CSR, roots []int32, opts ManyOptions) ([]*Result, error) {
 	results := make([]*Result, len(roots))
-	err := RunManyFunc(g, roots, opts, func(i int, _ int32, r *Result) error {
+	err := RunManyFuncContext(ctx, g, roots, opts, func(i int, _ int32, r *Result) error {
 		results[i] = r.Clone() //lint:shared-ok the atomic root cursor hands index i to exactly one callback
 		return nil
 	})
@@ -59,14 +66,32 @@ func RunMany(g *graph.CSR, roots []int32, opts ManyOptions) ([]*Result, error) {
 // RunManyFunc traverses g from every root and streams each result to
 // fn(i, roots[i], r) without copying: r aliases the traversal's
 // workspace and is valid only for the duration of the call. fn may run
-// concurrently from multiple goroutines when Concurrency != 1 (each
-// index is delivered exactly once, so indexed writes to caller-owned
-// slices are safe without locking). The first error — from a traversal
-// or from fn — cancels the remaining roots and is returned.
+// concurrently from multiple goroutines when Concurrency != 1.
+//
+// Delivery guarantees:
+//
+//   - Each index is delivered AT MOST once, so indexed writes to
+//     caller-owned slices are safe without locking.
+//   - When no error occurs, every index is delivered exactly once.
+//   - The batch fails fast: the first error — from a traversal or from
+//     fn — stops the dispatch of further roots, and the claim of any
+//     root not yet started is abandoned. Roots whose traversal was
+//     already in flight when the error surfaced finish and are
+//     delivered (or discarded if their own traversal errored); no new
+//     ones begin. The first error is returned.
 func RunManyFunc(g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
+	return RunManyFuncContext(context.Background(), g, roots, opts, fn)
+}
+
+// RunManyFuncContext is RunManyFunc under a context. Cancellation is
+// treated exactly like a callback error: in-flight traversals stop at
+// their next level/grain boundary, no new roots are dispatched, and
+// ctx.Err() is returned. Every worker goroutine has exited and every
+// workspace is back in the pool (clean) by the time it returns.
+func RunManyFuncContext(ctx context.Context, g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, root int32, r *Result) error) error {
 	opts = opts.withDefaults()
 	if len(roots) == 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers := resolveWorkers(opts.Concurrency, len(roots))
 	n := g.NumVertices()
@@ -75,7 +100,7 @@ func RunManyFunc(g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, r
 		ws := opts.Pool.Get(n)
 		defer opts.Pool.Put(ws)
 		for i, root := range roots {
-			r, err := opts.Engine.Run(g, root, ws)
+			r, err := opts.Engine.RunContext(ctx, g, root, ws)
 			if err != nil {
 				return err
 			}
@@ -93,6 +118,10 @@ func RunManyFunc(g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, r
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -104,13 +133,21 @@ func RunManyFunc(g *graph.CSR, roots []int32, opts ManyOptions, fn func(i int, r
 				if i >= len(roots) {
 					return
 				}
-				r, err := opts.Engine.Run(g, roots[i], ws)
+				// Fail-fast: a sibling may have failed between this
+				// worker's loop check and its claim. Re-checking after
+				// the claim closes that window — without it, a worker
+				// could start a fresh multi-second traversal after the
+				// batch already failed. The claimed index is abandoned,
+				// which the at-most-once contract allows.
+				if failed.Load() {
+					return
+				}
+				r, err := opts.Engine.RunContext(ctx, g, roots[i], ws)
 				if err == nil {
 					err = fn(i, roots[i], r)
 				}
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
+					fail(err)
 					return
 				}
 			}

@@ -124,6 +124,60 @@ func TestRunManyPropagatesCallbackError(t *testing.T) {
 	}
 }
 
+// TestRunManyFuncFailFastSequential pins the fail-fast contract in
+// its deterministic form: with Concurrency 1, an error at index 2
+// means exactly indexes 0, 1, 2 were delivered, in order.
+func TestRunManyFuncFailFastSequential(t *testing.T) {
+	g := pathGraph(t, 20)
+	roots := []int32{0, 3, 6, 9, 12, 15}
+	sentinel := errors.New("boom")
+	var seen []int
+	err := RunManyFunc(g, roots, ManyOptions{Concurrency: 1}, func(i int, _ int32, _ *Result) error {
+		seen = append(seen, i)
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("delivered indexes %v, want [0 1 2]", seen)
+	}
+}
+
+// TestRunManyFuncFailFastConcurrent is the regression test for the
+// check-then-claim race: before the post-claim failed re-check, a
+// worker could observe no failure, claim a root, and start a fresh
+// traversal after a sibling had already failed the batch. With many
+// cheap roots, a first-callback error must abandon almost all of them.
+func TestRunManyFuncFailFastConcurrent(t *testing.T) {
+	g := pathGraph(t, 64)
+	roots := make([]int32, 4096)
+	sentinel := errors.New("boom")
+	counts := make([]atomic.Int32, len(roots))
+	var delivered atomic.Int64
+	err := RunManyFunc(g, roots, ManyOptions{Concurrency: 8}, func(i int, _ int32, _ *Result) error {
+		counts[i].Add(1)
+		if delivered.Add(1) == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	for i := range counts {
+		if n := counts[i].Load(); n > 1 {
+			t.Errorf("index %d delivered %d times", i, n)
+		}
+	}
+	if n := delivered.Load(); n > int64(len(roots))/8 {
+		t.Errorf("%d of %d roots delivered after first-callback error; fail-fast regressed", n, len(roots))
+	}
+}
+
 func TestRunManyPropagatesEngineError(t *testing.T) {
 	g := pathGraph(t, 6)
 	for _, conc := range []int{1, 2} {

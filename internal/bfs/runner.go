@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -118,7 +119,7 @@ type Options struct {
 // Each call allocates one-shot buffers; repeated-traversal callers
 // should prefer RunWith (or RunMany) with a pooled Workspace.
 func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
-	return RunWith(g, source, opts, nil)
+	return RunWithContext(context.Background(), g, source, opts, nil)
 }
 
 // RunWith is Run with an explicit traversal workspace: every buffer —
@@ -129,6 +130,40 @@ func Run(g *graph.CSR, source int32, opts Options) (*Result, error) {
 // returned Result aliases ws's storage and is valid only until ws's
 // next traversal; Clone it for durability.
 func RunWith(g *graph.CSR, source int32, opts Options, ws *Workspace) (*Result, error) {
+	return RunWithContext(context.Background(), g, source, opts, ws)
+}
+
+// RunContext is Run under a context: the traversal observes ctx at
+// every level boundary and (in the parallel kernels) at every grain
+// boundary, returning ctx.Err() — context.Canceled or
+// context.DeadlineExceeded — promptly after cancellation.
+func RunContext(ctx context.Context, g *graph.CSR, source int32, opts Options) (*Result, error) {
+	return RunWithContext(ctx, g, source, opts, nil)
+}
+
+// RunWithContext is the full-control traversal entry point: RunWith
+// plus cancellation, deadline enforcement, and panic containment.
+//
+// Fault-tolerance contract:
+//
+//   - Cancellation is honored within one level boundary (serial
+//     kernels) or one grain boundary (parallel kernels); the error is
+//     ctx.Err() verbatim so callers can match context.Canceled /
+//     context.DeadlineExceeded.
+//   - A panic anywhere in the traversal — a kernel worker, the policy's
+//     Choose, the invariant checker — is recovered and returned as a
+//     *PanicError instead of killing the process. Worker goroutines
+//     recover their own panics and hand them to the coordinating
+//     goroutine; by the time an error returns, every worker has exited.
+//   - On any error the workspace is quiescent and pool-clean: no
+//     goroutine holds a reference, and the next ws.begin fully resets
+//     it, so a recycled post-cancel workspace behaves bit-identically
+//     to a fresh one.
+func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Options, ws *Workspace) (_ *Result, err error) {
+	defer func() { recoverToError(recover(), &err) }()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
@@ -161,6 +196,12 @@ func RunWith(g *graph.CSR, source int32, opts Options, ws *Workspace) (*Result, 
 	totalEdges := g.NumEdges()
 
 	for frontierVertices > 0 {
+		// Level-boundary cancellation point: between two expansion
+		// steps no kernel goroutine is alive, so stopping here leaves
+		// the workspace quiescent for its next begin().
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		info := StepInfo{
 			Step:              int(level),
 			FrontierVertices:  frontierVertices,
@@ -178,7 +219,10 @@ func RunWith(g *graph.CSR, source int32, opts Options, ws *Workspace) (*Result, 
 				queue = front.AppendSet(queue[:0])
 				queueValid = true
 			}
-			out := topDownLevel(g, r, visited, queue, spare[:0], level, opts.Workers, ws)
+			out, err := topDownLevel(ctx, g, r, visited, queue, spare[:0], level, opts.Workers, ws)
+			if err != nil {
+				return nil, err
+			}
 			queue, spare = out, queue
 			foundCount = int64(len(queue))
 		case BottomUp:
@@ -195,7 +239,11 @@ func RunWith(g *graph.CSR, source int32, opts Options, ws *Workspace) (*Result, 
 				}
 			}
 			next.Reset()
-			foundCount, scanCount = bottomUpLevel(g, r, visited, front, next, level, opts.Workers)
+			var err error
+			foundCount, scanCount, err = bottomUpLevel(ctx, g, r, visited, front, next, level, opts.Workers)
+			if err != nil {
+				return nil, err
+			}
 			if opts.CheckInvariants {
 				// Before the merge: a bottom-up step must only have
 				// discovered vertices that were still unvisited.

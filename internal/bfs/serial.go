@@ -1,6 +1,10 @@
 package bfs
 
-import "crossbfs/internal/graph"
+import (
+	"context"
+
+	"crossbfs/internal/graph"
+)
 
 // serialEngine is the textbook queue-based BFS as an Engine. It is the
 // correctness reference for every other kernel and the model of the
@@ -14,7 +18,14 @@ func SerialEngine() Engine { return serialEngine{} }
 func (serialEngine) Name() string { return "serial" }
 
 // Run implements Engine.
-func (serialEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+func (e serialEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunContext(context.Background(), g, source, ws)
+}
+
+// RunContext implements Engine. The serial kernel has no goroutines
+// to contain, so cancellation is observed once per level.
+func (serialEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (_ *Result, err error) {
+	defer func() { recoverToError(recover(), &err) }()
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
@@ -25,6 +36,9 @@ func (serialEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, err
 	cq := append(ws.queue[:0], source)
 	nq := ws.spare[:0]
 	for len(cq) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nq = nq[:0]
 		for _, u := range cq {
 			for _, v := range g.Neighbors(u) {

@@ -1,6 +1,7 @@
 package bfs
 
 import (
+	"context"
 	"fmt"
 
 	"crossbfs/internal/graph"
@@ -180,6 +181,18 @@ func TraceFrom(g *graph.CSR, source int32) (*Trace, error) {
 // and stays valid after ws is reused.
 func TraceFromWith(g *graph.CSR, source int32, ws *Workspace) (*Trace, error) {
 	r, err := SerialEngine().Run(g, source, ws)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeTrace(g, r)
+}
+
+// TraceFromContext is TraceFromWith under a context: the reference
+// traversal checks ctx at every level boundary, so deadline-bound
+// drivers (bfsrun -timeout) abandon a too-large graph promptly instead
+// of tracing it to completion first.
+func TraceFromContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Trace, error) {
+	r, err := SerialEngine().RunContext(ctx, g, source, ws)
 	if err != nil {
 		return nil, err
 	}

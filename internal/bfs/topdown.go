@@ -1,6 +1,8 @@
 package bfs
 
 import (
+	"context"
+
 	"crossbfs/internal/bitmap"
 	"crossbfs/internal/graph"
 )
@@ -19,13 +21,17 @@ const tdGrain = 256
 // per-worker shard slices live in ws, hoisted to once-per-traversal
 // scope — they used to be rebuilt every level, which made the level
 // loop itself an allocation hot spot.
-func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) []int32 {
+//
+// Cancellation is observed at grain boundaries (see parallelGrains);
+// on error the returned queue is meaningless and the caller must
+// abandon the traversal.
+func topDownLevel(ctx context.Context, g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32, workers int, ws *Workspace) ([]int32, error) {
 	nworkers := resolveWorkers(workers, len(queue))
 	if nworkers == 1 {
-		return topDownLevelSerial(g, r, visited, queue, out, level)
+		return topDownLevelSerial(g, r, visited, queue, out, level), nil
 	}
 	locals := ws.workerShards(nworkers)
-	parallelGrains(len(queue), tdGrain, nworkers, func(worker, start, end int) {
+	err := parallelGrains(ctx, len(queue), tdGrain, nworkers, func(worker, start, end int) {
 		local := locals[worker]
 		for _, u := range queue[start:end] {
 			for _, v := range g.Neighbors(u) {
@@ -41,10 +47,13 @@ func topDownLevel(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []
 		}
 		locals[worker] = local
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, l := range locals {
 		out = append(out, l...)
 	}
-	return out
+	return out, nil
 }
 
 func topDownLevelSerial(g *graph.CSR, r *Result, visited *bitmap.Bitmap, queue, out []int32, level int32) []int32 {

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/fault"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+// fuzzGraph is built once per process: fuzzing re-enters the target
+// thousands of times and the graph is the same for all of them.
+var (
+	fuzzOnce sync.Once
+	fuzzG    *graph.CSR
+	fuzzSrc  int32
+	fuzzRef  *bfs.Result
+	fuzzErr  error
+)
+
+func fuzzSetup() {
+	fuzzOnce.Do(func() {
+		p := rmat.DefaultParams(9, 8)
+		p.Seed = 11
+		fuzzG, fuzzErr = rmat.Generate(p)
+		if fuzzErr != nil {
+			return
+		}
+		for v := 0; v < fuzzG.NumVertices(); v++ {
+			if fuzzG.Degree(int32(v)) > 0 {
+				fuzzSrc = int32(v)
+				break
+			}
+		}
+		fuzzRef, fuzzErr = bfs.Serial(fuzzG, fuzzSrc)
+	})
+}
+
+// FuzzFaultSchedule is the robustness contract as a fuzz target: for
+// ANY parseable fault schedule, the resilient executor must never
+// panic, never produce a wrong traversal, and either complete or
+// return a typed *fault.Error. Faults degrade pricing and placement —
+// never correctness.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add("", uint64(0))
+	f.Add("crash:GPU@4", uint64(1))
+	f.Add("crash:CPU@2", uint64(2))
+	f.Add("transient:0.5", uint64(3))
+	f.Add("transient:1", uint64(4))
+	f.Add("slow:GPU@3x10", uint64(5))
+	f.Add("crash:GPU@4;transient:0.2;slow:CPU@2x1.5", uint64(6))
+	f.Add("crash:CPU@1;crash:GPU@1", uint64(7))
+	f.Add("crash:KeplerK20x@3;transient:0.9", uint64(8))
+
+	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
+		sched, err := fault.Parse(spec, seed)
+		if err != nil {
+			t.Skip() // invalid spec: rejection is the correct behavior
+		}
+		fuzzSetup()
+		if fuzzErr != nil {
+			t.Fatal(fuzzErr)
+		}
+		plan := CrossPlan{
+			Host: archsim.SandyBridge(), Coprocessor: archsim.KeplerK20x(),
+			M1: 64, N1: 64, M2: 64, N2: 64,
+		}
+		res, _, timing, err := ExecuteResilient(context.Background(), fuzzG, fuzzSrc, plan, archsim.PCIe(),
+			ResilientOptions{Schedule: sched, Workers: 1})
+		if err != nil {
+			var fe *fault.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("spec %q: error is %v (%T), want *fault.Error", spec, err, err)
+			}
+			return
+		}
+		// Completed: the parent tree must match the serial reference.
+		if err := bfs.Validate(fuzzG, res); err != nil {
+			t.Fatalf("spec %q: invalid traversal: %v", spec, err)
+		}
+		for v := range res.Level {
+			if res.Level[v] != fuzzRef.Level[v] {
+				t.Fatalf("spec %q: Level[%d] = %d, want %d", spec, v, res.Level[v], fuzzRef.Level[v])
+			}
+		}
+		if math.IsNaN(timing.Total) || math.IsInf(timing.Total, 0) || timing.Total < 0 {
+			t.Fatalf("spec %q: timing total = %g", spec, timing.Total)
+		}
+	})
+}

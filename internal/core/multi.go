@@ -48,6 +48,11 @@ func (p MultiCross) Validate() error {
 	return nil
 }
 
+// Devices implements DeviceLister.
+func (p MultiCross) Devices() []archsim.Arch {
+	return append([]archsim.Arch{p.Host}, p.Coprocessors...)
+}
+
 // partitionStats scales one level's work counts to a 1/k vertex
 // partition under the balanced-partition assumption.
 func partitionStats(s bfs.LevelStats, k int) bfs.LevelStats {

@@ -60,6 +60,9 @@ func (p SinglePlan) Place(s bfs.StepInfo) Placement {
 	return Placement{Arch: p.Arch, Dir: p.Policy.Choose(s)}
 }
 
+// Devices implements DeviceLister.
+func (p SinglePlan) Devices() []archsim.Arch { return []archsim.Arch{p.Arch} }
+
 // FixedDirection returns the pure single-direction baseline on arch
 // (e.g. GPUTD).
 func FixedDirection(arch archsim.Arch, dir bfs.Direction) SinglePlan {
@@ -103,6 +106,9 @@ func (p PolicyPlan) Begin() Stepper {
 	return policyStepper{arch: p.Arch, policy: p.NewPolicy()}
 }
 
+// Devices implements DeviceLister.
+func (p PolicyPlan) Devices() []archsim.Arch { return []archsim.Arch{p.Arch} }
+
 type policyStepper struct {
 	arch   archsim.Arch
 	policy bfs.Policy
@@ -145,6 +151,14 @@ func (p TwoArchPlan) Validate() error {
 // own stepper.
 func (p TwoArchPlan) Begin() Stepper { return p }
 
+// Devices implements DeviceLister.
+func (p TwoArchPlan) Devices() []archsim.Arch {
+	if p.TDArch.Name == p.BUArch.Name {
+		return []archsim.Arch{p.TDArch}
+	}
+	return []archsim.Arch{p.TDArch, p.BUArch}
+}
+
 // Place implements Stepper.
 func (p TwoArchPlan) Place(s bfs.StepInfo) Placement {
 	if (bfs.MN{M: p.M, N: p.N}).Choose(s) == bfs.BottomUp {
@@ -183,6 +197,11 @@ func (p CrossPlan) Validate() error {
 
 // Begin implements Plan.
 func (p CrossPlan) Begin() Stepper { return &crossStepper{plan: p} }
+
+// Devices implements DeviceLister.
+func (p CrossPlan) Devices() []archsim.Arch {
+	return []archsim.Arch{p.Host, p.Coprocessor}
+}
 
 type crossStepper struct {
 	plan    CrossPlan
@@ -229,4 +248,9 @@ func (p CrossTDBU) Begin() Stepper {
 		M1: p.M1, N1: p.N1,
 		M2: 1e18, N2: 1e18,
 	}}
+}
+
+// Devices implements DeviceLister.
+func (p CrossTDBU) Devices() []archsim.Arch {
+	return []archsim.Arch{p.Host, p.Coprocessor}
 }

@@ -29,6 +29,17 @@ type Timing struct {
 	Total        float64 // seconds, kernels + transfers
 	Transfers    float64 // seconds spent on the link
 	EdgesVisited int64   // adjacency entries of the reachable component
+
+	// Degradation report, filled only by the resilient executor
+	// (SimulateResilient / ExecuteResilient); all zero on a clean run.
+	Retries int           // dropped transfers re-attempted
+	Replans int           // placement changes forced by faults
+	Faults  []FaultRecord // every fault event and the ladder rung taken
+}
+
+// Degraded reports whether any fault altered the execution.
+func (t *Timing) Degraded() bool {
+	return t.Retries > 0 || t.Replans > 0 || len(t.Faults) > 0
 }
 
 // TEPS returns traversed edges per second, the Graph 500 metric

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultToleranceLadder(t *testing.T) {
+	cfg := Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	rows, err := FaultTolerance(context.Background(), cfg, "", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean row plus every rung of the default ladder.
+	want := 1 + len(defaultFaultScenarios())
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	if rows[0].Scenario != "clean" || rows[0].Overhead != 1 {
+		t.Errorf("first row = %+v, want the clean baseline", rows[0])
+	}
+	degraded := 0
+	for _, r := range rows[1:] {
+		if r.Failed {
+			continue
+		}
+		if r.Overhead < 1 {
+			t.Errorf("%s: overhead %.3fx below clean", r.Scenario, r.Overhead)
+		}
+		if r.Retries > 0 || r.Replans > 0 || r.Events > 0 {
+			degraded++
+		}
+	}
+	// Low-probability transient rungs may get lucky, but the slowdown
+	// and crash rungs always leave a mark.
+	if degraded < 2 {
+		t.Errorf("only %d rows record degradation: %+v", degraded, rows)
+	}
+	// The all-dead rung must fail typed, not crash or price garbage.
+	last := rows[len(rows)-1]
+	if !last.Failed {
+		t.Errorf("all-dead scenario %q completed: %+v", last.Scenario, last)
+	}
+
+	var sb strings.Builder
+	if err := RenderFaultTolerance(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FAILED") {
+		t.Errorf("render missing FAILED marker:\n%s", sb.String())
+	}
+}
+
+func TestFaultToleranceSingleSpec(t *testing.T) {
+	cfg := Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	rows, err := FaultTolerance(context.Background(), cfg, "transient:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want clean + 1", len(rows))
+	}
+	r := rows[1]
+	if r.Failed || r.Retries == 0 || r.Replans == 0 {
+		t.Errorf("transient:1 row = %+v; want completion with retries and replans", r)
+	}
+}
+
+func TestFaultToleranceBadSpec(t *testing.T) {
+	cfg := Config{Scale: 10, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	if _, err := FaultTolerance(context.Background(), cfg, "crash:GPU", 1); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestFaultToleranceDeadline(t *testing.T) {
+	cfg := Config{Scale: 10, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := FaultTolerance(ctx, cfg, "", 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

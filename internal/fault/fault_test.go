@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse("crash:GPU@4; transient:0.25, slow:CPU@2x1.5;slow:KeplerK20x x3", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Events); got != 4 {
+		t.Fatalf("parsed %d events, want 4", got)
+	}
+	if s.Seed != 7 {
+		t.Fatalf("seed %d, want 7", s.Seed)
+	}
+	want := []Event{
+		{Kind: DeviceCrash, Device: "GPU", Step: 4},
+		{Kind: LinkTransient, Probability: 0.25},
+		{Kind: KernelSlowdown, Device: "CPU", Step: 2, Factor: 1.5},
+		{Kind: KernelSlowdown, Device: "KeplerK20x", Factor: 3},
+	}
+	for i, w := range want {
+		if s.Events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], w)
+		}
+	}
+	// Re-parsing the rendered form yields the same event set.
+	s2, err := Parse(s.String(), 7)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s.String(), err)
+	}
+	if len(s2.Events) != len(s.Events) {
+		t.Fatalf("round trip changed event count: %d vs %d", len(s2.Events), len(s.Events))
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"crash:GPU",           // missing step
+		"crash:@3",            // missing device
+		"transient:1.5",       // probability out of range
+		"transient:x",         // not a number
+		"slow:GPU@2",          // missing factor
+		"slow:GPU@2x0.5",      // factor < 1
+		"meteor:GPU@2",        // unknown kind
+		"justtext",            // no kind separator
+		"crash:GPU@-1",        // negative step
+		"transient:NaN",       // NaN probability
+		"slow:GPU@1xNaN",      // NaN factor
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+	// Empty specs are valid empty schedules.
+	s, err := Parse("  ;, ", 1)
+	if err != nil || !s.Empty() {
+		t.Errorf("blank spec: err=%v empty=%v, want valid empty schedule", err, s.Empty())
+	}
+}
+
+func TestDeviceMatching(t *testing.T) {
+	s, err := New(1, Event{Kind: DeviceCrash, Device: "gpu", Step: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.CrashedBy("KeplerK20x", "GPU", 3); !ok {
+		t.Error("kind-label match failed")
+	}
+	if _, ok := s.CrashedBy("KeplerK20x", "GPU", 2); ok {
+		t.Error("crash fired before its step")
+	}
+	if _, ok := s.CrashedBy("SandyBridge-8c", "CPU", 9); ok {
+		t.Error("crash matched the wrong device")
+	}
+	s2, err := New(1, Event{Kind: DeviceCrash, Device: "KEPLERK20X", Step: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.CrashedBy("KeplerK20x", "GPU", 1); !ok {
+		t.Error("arch-name match failed")
+	}
+}
+
+func TestSlowdownCompounds(t *testing.T) {
+	s, err := New(1,
+		Event{Kind: KernelSlowdown, Device: "GPU", Step: 2, Factor: 2},
+		Event{Kind: KernelSlowdown, Device: "GPU", Step: 4, Factor: 3},
+		Event{Kind: KernelSlowdown, Device: "CPU", Step: 0, Factor: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		step int
+		want float64
+	}{{1, 1}, {2, 2}, {3, 2}, {4, 6}, {9, 6}}
+	for _, c := range cases {
+		if got := s.SlowdownAt("KeplerK20x", "GPU", c.step); got != c.want {
+			t.Errorf("SlowdownAt(GPU, %d) = %g, want %g", c.step, got, c.want)
+		}
+	}
+	if got := s.SlowdownAt("KnightsCorner-60c", "MIC", 5); got != 1 {
+		t.Errorf("unaffected device derated by %g", got)
+	}
+}
+
+func TestLinkDropsDeterministic(t *testing.T) {
+	mk := func() *Schedule {
+		s, err := New(42, Event{Kind: LinkTransient, Probability: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	var drops int
+	for i := 0; i < 1000; i++ {
+		da, db := a.LinkDrops(), b.LinkDrops()
+		if da != db {
+			t.Fatalf("draw %d diverged between equal schedules", i)
+		}
+		if da {
+			drops++
+		}
+	}
+	if drops < 400 || drops > 600 {
+		t.Errorf("p=0.5 produced %d/1000 drops", drops)
+	}
+	// Reset replays the identical sequence.
+	first := make([]bool, 20)
+	a.Reset()
+	for i := range first {
+		first[i] = a.LinkDrops()
+	}
+	a.Reset()
+	for i := range first {
+		if a.LinkDrops() != first[i] {
+			t.Fatalf("Reset did not replay draw %d", i)
+		}
+	}
+}
+
+func TestLinkDropsProbabilityEdges(t *testing.T) {
+	never, err := New(1, Event{Kind: LinkTransient, Probability: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := New(1, Event{Kind: LinkTransient, Probability: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if never.LinkDrops() {
+			t.Fatal("p=0 schedule dropped a transfer")
+		}
+		if !always.LinkDrops() {
+			t.Fatal("p=1 schedule passed a transfer")
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.LinkDrops() || !nilSched.Empty() {
+		t.Error("nil schedule should be empty and never drop")
+	}
+	if _, ok := nilSched.CrashedBy("x", "y", 1); ok {
+		t.Error("nil schedule reported a crash")
+	}
+	if f := nilSched.SlowdownAt("x", "y", 1); f != 1 {
+		t.Errorf("nil schedule slowdown %g, want 1", f)
+	}
+}
+
+func TestErrorType(t *testing.T) {
+	var err error = &Error{Kind: DeviceCrash, Device: "GPU", Step: 4, Reason: "no surviving device"}
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatal("errors.As failed to unwrap *fault.Error")
+	}
+	if fe.Kind != DeviceCrash || fe.Step != 4 {
+		t.Errorf("unexpected fields: %+v", fe)
+	}
+	msg := err.Error()
+	for _, want := range []string{"crash", "GPU", "step 4", "no surviving device"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.As(wrapped, &fe) {
+		t.Error("errors.As failed through wrapping")
+	}
+}

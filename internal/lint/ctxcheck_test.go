@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCtxCheckGolden(t *testing.T) {
+	runGolden(t, CtxCheck, "ctxcheck")
+}

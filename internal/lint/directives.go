@@ -32,6 +32,7 @@ var analyzerTags = map[string]string{
 	"atomicpair":  "shared-ok",
 	"indexarith":  "narrow-ok",
 	"grainloop":   "grain-ok",
+	"ctxcheck":    "ctx-ok",
 }
 
 // suppressions indexes directive sites by file and line.

@@ -1,0 +1,132 @@
+// Package ctxcheck is the golden test for the ctxcheck analyzer:
+// context-aware functions whose long-running loops never consult the
+// context break the stack's cancellation contract.
+package ctxcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// runParallelWork mimics the repo's fan-out primitives: its name marks
+// it as a parallel runner for the analyzer.
+func runParallelWork(fn func(int)) {
+	for i := 0; i < 4; i++ {
+		fn(i)
+	}
+}
+
+// badLevelLoop is the canonical miss: a data-dependent level loop with
+// no cancellation point.
+func badLevelLoop(ctx context.Context, queue []int) int {
+	visited := 0
+	for len(queue) > 0 { // want `unbounded condition-only loop in context-aware function`
+		visited += len(queue)
+		queue = queue[:len(queue)/2]
+	}
+	return visited
+}
+
+// goodLevelLoop polls ctx.Err() at the level boundary.
+func goodLevelLoop(ctx context.Context, queue []int) int {
+	visited := 0
+	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			return visited
+		}
+		visited += len(queue)
+		queue = queue[:len(queue)/2]
+	}
+	return visited
+}
+
+// goodDoneChannelLoop uses the hoisted done-channel idiom.
+func goodDoneChannelLoop(ctx context.Context, queue []int) int {
+	done := ctx.Done()
+	visited := 0
+	for len(queue) > 0 {
+		select {
+		case <-done:
+			return visited
+		default:
+		}
+		visited += len(queue)
+		queue = queue[:len(queue)/2]
+	}
+	return visited
+}
+
+// badSpawnLoop fans out workers that can outlive a cancel.
+func badSpawnLoop(ctx context.Context, items []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ { // want `goroutine-spawning loop in context-aware function`
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range items {
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// goodSpawnLoop hands the context to every worker.
+func goodSpawnLoop(ctx context.Context, items []int) {
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range items {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// badFanOutLoop repeatedly launches a parallel runner with no way to
+// stop between rounds.
+func badFanOutLoop(ctx context.Context, rounds *int) {
+	for *rounds > 0 { // want `goroutine-spawning loop|parallel fan-out loop`
+		runParallelWork(func(int) {})
+		*rounds--
+	}
+}
+
+// goodBoundedLoop is a plain three-clause loop: bounded work needs no
+// cancellation point.
+func goodBoundedLoop(ctx context.Context, items []int) int {
+	total := 0
+	for i := 0; i < len(items); i++ {
+		total += items[i]
+	}
+	return total
+}
+
+// goodNoContext has the suspicious shape but takes no context, so the
+// rule does not apply: its caller owns cancellation.
+func goodNoContext(queue []int) int {
+	visited := 0
+	for len(queue) > 0 {
+		visited += len(queue)
+		queue = queue[:len(queue)/2]
+	}
+	return visited
+}
+
+// suppressedLoop documents why it needs no cancellation point.
+func suppressedLoop(ctx context.Context, n int) int {
+	total := 0
+	//lint:ctx-ok n is at most 64 here; the loop is microseconds long
+	for n > 0 {
+		total += n
+		n /= 2
+	}
+	return total
+}
