@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race verify fuzz fuzz-faults
+.PHONY: all build test lint race trace-smoke verify fuzz fuzz-faults
 
 all: verify
 
@@ -26,9 +26,18 @@ lint:
 # bitmap hold the goroutine-shared state; core drives the resilient
 # executor's context plumbing.
 race:
-	$(GO) test -race ./internal/bfs/... ./internal/bitmap/... ./internal/core/...
+	$(GO) test -race ./internal/bfs/... ./internal/bitmap/... ./internal/core/... ./internal/obs/...
 
-verify: build lint test race
+# trace-smoke is the end-to-end observability gate: export a Chrome
+# trace from a real run (scale-14 keeps it a few seconds), then have
+# tracecheck verify the schema and reprint the TD/BU switch pattern
+# the per-level events reconstruct. See OBSERVABILITY.md.
+TRACEOUT ?= /tmp/crossbfs-trace-smoke.json
+trace-smoke:
+	$(GO) run ./cmd/bfsrun -scale 14 -edgefactor 8 -plan cputd+gpucb -levels=false -trace $(TRACEOUT)
+	$(GO) run ./cmd/tracecheck $(TRACEOUT)
+
+verify: build lint test race trace-smoke
 
 # fuzz gives the heuristic-switch fuzzer a short budget; CI-style
 # smoke, not a soak. Override FUZZTIME for longer runs.

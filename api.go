@@ -3,6 +3,7 @@ package crossbfs
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
@@ -10,6 +11,7 @@ import (
 	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
 	"crossbfs/internal/graph500"
+	"crossbfs/internal/obs"
 	"crossbfs/internal/rmat"
 	"crossbfs/internal/tuner"
 )
@@ -231,6 +233,72 @@ func BFSEachContext(ctx context.Context, g *Graph, roots []int32, opts ManyOptio
 func ExecuteResilient(ctx context.Context, g *Graph, source int32, plan Plan, opts ResilientOptions) (*Result, *Timing, error) {
 	res, _, timing, err := core.ExecuteResilient(ctx, g, source, plan, archsim.PCIe(), opts)
 	return res, timing, err
+}
+
+// ---- Observability ----
+
+// Telemetry surface. A Recorder receives one flat TelemetryEvent per
+// per-level/per-step occurrence from every engine, the simulator, the
+// resilient executor, and the RunMany dispatcher; Metrics aggregates
+// them into counters and histograms, and TraceWriter streams them as
+// Chrome trace-event JSON for chrome://tracing or Perfetto. See
+// OBSERVABILITY.md for the event taxonomy and the trace-file schema.
+type (
+	// Recorder consumes telemetry events; implementations must be
+	// cheap and, when shared across traversals, concurrency-safe.
+	Recorder = obs.Recorder
+	// TelemetryEvent is the single flat event type all instrumentation
+	// emits.
+	TelemetryEvent = obs.Event
+	// Metrics aggregates events into atomic counters, gauges, and
+	// power-of-two histograms with expvar and HTTP endpoints.
+	Metrics = obs.Metrics
+	// TraceWriter encodes events as Chrome trace-event JSON.
+	TraceWriter = obs.TraceWriter
+	// TraceSummary is the structural digest ValidateTrace returns.
+	TraceSummary = obs.TraceSummary
+)
+
+// NopRecorder is the explicit no-op Recorder: passing it (or nil) to
+// any observed entry point keeps the traversal on the zero-allocation
+// fast path, with all per-event work compiled out behind one branch.
+var NopRecorder = obs.Nop
+
+// NewMetrics returns an empty, concurrency-safe metrics aggregator.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewTraceWriter returns a recorder that streams Chrome trace-event
+// JSON to w. Close flushes the file; the output is loadable in
+// chrome://tracing and https://ui.perfetto.dev.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// MultiRecorder fans events out to several recorders in order — e.g.
+// one Metrics and one TraceWriter on the same run.
+func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
+
+// ValidateTrace parses Chrome trace-event JSON (as produced by
+// TraceWriter) and checks the structural invariants documented in
+// OBSERVABILITY.md, returning a summary with per-timeline direction
+// sequences. cmd/tracecheck is its CLI form.
+func ValidateTrace(data []byte) (*TraceSummary, error) { return obs.ValidateTrace(data) }
+
+// BFSObserved is BFSWithContext with telemetry: every level emits one
+// event to rec (traversal bracket, per-level counts, direction
+// switches). rec == nil or NopRecorder costs nothing.
+func BFSObserved(ctx context.Context, g *Graph, source int32, e Engine, ws *Workspace, rec Recorder) (*Result, error) {
+	if e == nil {
+		e = bfs.DefaultEngine()
+	}
+	return e.RunObserved(ctx, g, source, ws, rec)
+}
+
+// SimulateObserved is Simulate with telemetry on the simulated clock:
+// the real host traversal emits wall-clock level events and the plan
+// pricing emits per-step kernel slices and handoff transfers, so a
+// TraceWriter shows the modeled cross-architecture timeline.
+func SimulateObserved(ctx context.Context, g *Graph, source int32, plan Plan, rec Recorder) (*Timing, error) {
+	_, _, timing, err := core.ExecuteObserved(ctx, g, source, plan, archsim.PCIe(), 0, nil, rec)
+	return timing, err
 }
 
 // ValidateBFS checks a result against the Graph 500 validation rules.

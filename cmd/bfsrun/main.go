@@ -8,6 +8,8 @@
 //	bfsrun -scale 17 -plan cputd+gpucb -m1 64 -n1 64 -m2 64 -n2 64
 //	bfsrun -graph g.csr -plan gpucb -m2 32 -n2 32
 //	bfsrun -scale 17 -plan cputd+gpucb -faults 'crash:KeplerK20x@4' -timeout 30s
+//	bfsrun -scale 16 -plan cputd+gpucb -trace out.json   # open in ui.perfetto.dev
+//	bfsrun -scale 20 -plan all -pprof localhost:6060 -cpuprofile cpu.pb.gz
 package main
 
 import (
@@ -15,8 +17,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
@@ -25,6 +31,7 @@ import (
 	"crossbfs/internal/core"
 	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 	"crossbfs/internal/rmat"
 )
 
@@ -40,7 +47,7 @@ type config struct {
 	m1, n1     float64
 	m2, n2     float64
 	perLevel   bool
-	showTrace  bool
+	showCounts bool
 	// timeout bounds the whole run (0 = none); the traversal checks
 	// the deadline at every level boundary.
 	timeout time.Duration
@@ -49,6 +56,18 @@ type config struct {
 	// report includes retries, replans, and the fault log.
 	faults    string
 	faultSeed uint64
+	// tracePath, when set, streams the run's telemetry (real per-level
+	// events from the reference traversal plus simulated per-step
+	// timelines from every priced plan) to a Chrome trace-event JSON
+	// file for chrome://tracing or Perfetto.
+	tracePath string
+	// metrics prints the aggregated telemetry counters after the run.
+	metrics bool
+	// pprofAddr starts an HTTP server with /debug/pprof, /debug/vars,
+	// and /metrics while the run executes.
+	pprofAddr string
+	// cpuProfile writes a CPU profile covering the whole run.
+	cpuProfile string
 }
 
 func main() {
@@ -64,10 +83,14 @@ func main() {
 	flag.Float64Var(&cfg.m2, "m2", 64, "coprocessor M threshold")
 	flag.Float64Var(&cfg.n2, "n2", 64, "coprocessor N threshold")
 	flag.BoolVar(&cfg.perLevel, "levels", true, "print per-level timings")
-	flag.BoolVar(&cfg.showTrace, "trace", false, "print per-level work counts (|V|cq, |E|cq, scans)")
+	flag.BoolVar(&cfg.showCounts, "counts", false, "print per-level work counts (|V|cq, |E|cq, scans)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.StringVar(&cfg.faults, "faults", "", "fault schedule, e.g. 'crash:KeplerK20x@4;transient:0.1'")
 	flag.Uint64Var(&cfg.faultSeed, "faultseed", 1, "seed for transient-fault draws")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace-event JSON to this file (view in Perfetto)")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print aggregated telemetry counters after the run")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address during the run")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -95,6 +118,11 @@ func run(ctx context.Context, cfg config) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
+	tel, err := startTelemetry(cfg)
+	if err != nil {
+		return err
+	}
+	defer tel.close()
 
 	var g *graph.CSR
 	if cfg.graphPath != "" {
@@ -115,14 +143,14 @@ func run(ctx context.Context, cfg config) error {
 	fmt.Printf("graph: %d vertices, %d directed edges, source %d\n", g.NumVertices(), g.NumEdges(), src)
 
 	ws := bfs.DefaultPool.Get(g.NumVertices())
-	tr, err := bfs.TraceFromContext(ctx, g, src, ws)
+	tr, err := bfs.TraceFromObserved(ctx, g, src, ws, tel.rec)
 	bfs.DefaultPool.Put(ws)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("traversal: depth %d, %d reachable, %d edges visited\n\n", tr.Depth(), tr.Reachable, tr.EdgesVisited)
 
-	if cfg.showTrace {
+	if cfg.showCounts {
 		for _, s := range tr.Steps {
 			fmt.Printf("step %d: |V|cq=%d |E|cq=%d discovered=%d unvisited=%d buScans=%d meanScan=%.1f\n",
 				s.Step, s.FrontierVertices, s.FrontierEdges, s.Discovered, s.UnvisitedVertices, s.BottomUpScans, s.MeanScan())
@@ -137,7 +165,7 @@ func run(ctx context.Context, cfg config) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		t, err := price(tr, pl, link, sched)
+		t, err := price(tr, pl, link, sched, tel.rec)
 		if err != nil {
 			var fe *fault.Error
 			if errors.As(err, &fe) {
@@ -169,17 +197,114 @@ func run(ctx context.Context, cfg config) error {
 			}
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := tel.close(); err != nil {
+		return err
+	}
+	if cfg.metrics {
+		fmt.Println()
+		if err := tel.metrics.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if cfg.tracePath != "" {
+		fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", cfg.tracePath)
+	}
+	return nil
+}
+
+// telemetry bundles the run's optional observers (trace file, metrics,
+// profiling server, CPU profile) behind one Recorder and one teardown.
+type telemetry struct {
+	rec     obs.Recorder
+	metrics *obs.Metrics
+	tw      *obs.TraceWriter
+	traceF  *os.File
+	profF   *os.File
+}
+
+// serveOnce guards the process-global side effects of -pprof (expvar
+// publication and default-mux handlers register once per process), so
+// tests can drive run() repeatedly.
+var serveOnce sync.Once
+
+func startTelemetry(cfg config) (*telemetry, error) {
+	tel := &telemetry{rec: obs.Nop}
+	var recs []obs.Recorder
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
+		if err != nil {
+			return nil, err
+		}
+		tel.traceF = f
+		tel.tw = obs.NewTraceWriter(f)
+		recs = append(recs, tel.tw)
+	}
+	if cfg.metrics || cfg.pprofAddr != "" {
+		tel.metrics = obs.NewMetrics()
+		recs = append(recs, tel.metrics)
+	}
+	tel.rec = obs.Multi(recs...)
+	if cfg.pprofAddr != "" {
+		m := tel.metrics
+		serveOnce.Do(func() {
+			m.Publish("crossbfs")
+			http.Handle("/metrics", m.Handler())
+		})
+		go func() {
+			// net/http/pprof registered /debug/pprof on the default mux.
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bfsrun: pprof server:", err)
+			}
+		}()
+		fmt.Printf("serving http://%s/debug/pprof, /debug/vars, /metrics\n", cfg.pprofAddr)
+	}
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			tel.close()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			tel.close()
+			return nil, err
+		}
+		tel.profF = f
+	}
+	return tel, nil
+}
+
+// close is idempotent: run() calls it explicitly to surface flush
+// errors, and defers it to cover early returns.
+func (t *telemetry) close() error {
+	if t.profF != nil {
+		pprof.StopCPUProfile()
+		t.profF.Close()
+		t.profF = nil
+	}
+	var err error
+	if t.tw != nil {
+		err = t.tw.Close()
+		if cerr := t.traceF.Close(); err == nil {
+			err = cerr
+		}
+		t.tw, t.traceF = nil, nil
+	}
+	return err
 }
 
 // price runs the clean simulator, or the resilient one when a fault
 // schedule is in play. SimulateResilient re-arms the schedule itself,
 // so one schedule prices every plan with identical transient draws.
-func price(tr *bfs.Trace, pl core.Plan, link archsim.Link, sched *fault.Schedule) (*core.Timing, error) {
+// Either way the recorder sees the plan's simulated per-step timeline.
+func price(tr *bfs.Trace, pl core.Plan, link archsim.Link, sched *fault.Schedule, rec obs.Recorder) (*core.Timing, error) {
 	if sched == nil {
-		return core.Simulate(tr, pl, link), nil
+		return core.SimulateObserved(tr, pl, link, rec), nil
 	}
-	return core.SimulateResilient(tr, pl, link, core.ResilientOptions{Schedule: sched})
+	return core.SimulateResilient(tr, pl, link, core.ResilientOptions{Schedule: sched, Recorder: rec})
 }
 
 func pickSource(g *graph.CSR, requested int) (int32, error) {

@@ -3,10 +3,12 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"crossbfs/internal/obs"
 	"crossbfs/internal/rmat"
 )
 
@@ -25,9 +27,54 @@ func cfg(scale int, plan string) config {
 func TestRunAllPlans(t *testing.T) {
 	c := cfg(10, "all")
 	c.perLevel = true
-	c.showTrace = true
+	c.showCounts = true
 	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceExport is the CLI half of the observability acceptance
+// test: bfsrun -trace must produce a Chrome trace whose per-level
+// events reconstruct the hybrid's exact TD->BU->TD switch pattern.
+func TestRunTraceExport(t *testing.T) {
+	c := cfg(12, "cputd+gpucb")
+	c.metrics = true
+	c.tracePath = filepath.Join(t.TempDir(), "out.json")
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if s.Levels == 0 || s.SimSteps == 0 {
+		t.Fatalf("trace missing timelines: %d levels, %d sim steps", s.Levels, s.SimSteps)
+	}
+	// The reference traversal is serial top-down, so the real timeline
+	// never switches; the simulated cross plan must show the paper's
+	// TD-then-BU shape: at least one switch into bottom-up.
+	for _, tid := range obs.TimelineIDs(s.LevelDirs) {
+		for _, d := range s.LevelDirs[tid] {
+			if d != "TD" {
+				t.Errorf("reference traversal lane has non-TD level %q", d)
+			}
+		}
+	}
+	sawBU := false
+	for _, tid := range obs.TimelineIDs(s.SimDirs) {
+		if steps := obs.SwitchSteps(s.SimDirs[tid]); len(steps) > 0 {
+			sawBU = true
+		}
+	}
+	if !sawBU {
+		t.Error("no simulated timeline ever switches direction; cross plan trace is wrong")
+	}
+	if s.Handoffs == 0 {
+		t.Error("cross plan trace has no device handoff")
 	}
 }
 

@@ -15,8 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"crossbfs/internal/archsim"
@@ -36,8 +39,35 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the suite after this duration (0 = no limit); checked between experiments")
 		faults     = flag.String("faults", "", "fault schedule for the faults experiment (default: built-in scenario ladder)")
 		faultSeed  = flag.Uint64("faultseed", 1, "seed for transient-fault draws in the faults experiment")
+		pprofAddr  = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address during the suite")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registered itself on the default mux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof server:", err)
+			}
+		}()
+		fmt.Printf("serving http://%s/debug/pprof\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

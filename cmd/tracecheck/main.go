@@ -1,0 +1,74 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by bfsrun -trace (or any obs.TraceWriter) and summarizes what the
+// telemetry reconstructs: one line per traversal timeline with its
+// per-level direction sequence and the steps where the hybrid
+// heuristic switched kernels — the paper's Fig. 4 switch pattern read
+// back out of the trace. It exits nonzero when the file violates the
+// schema documented in OBSERVABILITY.md, which makes it the assertion
+// half of `make trace-smoke`.
+//
+//	bfsrun -scale 16 -plan cputd+gpucb -trace out.json
+//	tracecheck out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"crossbfs/internal/obs"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary; only validate")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *quiet, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, quiet bool, w *os.File) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := obs.ValidateTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if quiet {
+		return nil
+	}
+	fmt.Fprintf(w, "%s: %d events (%d slices, %d instants, %d metadata) across %d processes\n",
+		path, s.Events, s.Slices, s.Instants, s.Metadata, len(s.Processes))
+	fmt.Fprintf(w, "levels %d, sim steps %d, switches %d, handoffs %d, faults %d\n",
+		s.Levels, s.SimSteps, s.Switches, s.Handoffs, s.Faults)
+	printTimelines(w, "traversal", s.LevelDirs)
+	printTimelines(w, "sim", s.SimDirs)
+	return nil
+}
+
+func printTimelines(w *os.File, kind string, dirs map[int][]string) {
+	for _, tid := range obs.TimelineIDs(dirs) {
+		seq := dirs[tid]
+		line := fmt.Sprintf("%s %d: %s", kind, tid, strings.Join(seq, " "))
+		if sw := obs.SwitchSteps(seq); len(sw) > 0 {
+			line += fmt.Sprintf("  (switch at level %s)", joinInts(sw))
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ", ")
+}

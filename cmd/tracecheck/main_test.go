@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/obs"
+	"crossbfs/internal/rmat"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	p := rmat.DefaultParams(10, 8)
+	p.Seed = 3
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := obs.NewTraceWriter(f)
+	_, err = bfs.RunMany(g, []int32{0, 1, 2}, bfs.ManyOptions{Recorder: tw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidTrace(t *testing.T) {
+	path := writeTrace(t)
+	if err := run(path, false, os.Stdout); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if err := run(path, true, os.Stdout); err != nil {
+		t.Fatalf("quiet mode failed: %v", err)
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"traceEvents":[{"ph":"Z"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, os.Stdout); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.json"), true, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+}

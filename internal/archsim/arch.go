@@ -232,6 +232,15 @@ func KnightsCorner() Arch {
 	}
 }
 
+// Label renders the architecture for displays that need the family
+// visible next to the device, e.g. "GPU:KeplerK20x". Telemetry events
+// (internal/obs) carry the bare Name — it is the stable lane key that
+// fault schedules and replans also match on — and reporting layers
+// (bfsrun, tracecheck) upgrade it to this label for humans.
+func (a Arch) Label() string {
+	return fmt.Sprintf("%s:%s", a.Kind, a.Name)
+}
+
 // Utilization returns the fraction of peak throughput available with
 // `items` independent work units.
 func (a Arch) Utilization(items int64) float64 {

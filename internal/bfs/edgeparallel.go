@@ -3,9 +3,11 @@ package bfs
 import (
 	"context"
 	"sort"
+	"time"
 
 	"crossbfs/internal/bitmap"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // Edge-parallel top-down kernel. The vertex-parallel kernel assigns a
@@ -100,17 +102,32 @@ func (e edgeParallelEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Res
 }
 
 // RunContext implements Engine.
-func (e edgeParallelEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (_ *Result, err error) {
+func (e edgeParallelEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunObserved(ctx, g, source, ws, nil)
+}
+
+// RunObserved implements Engine. The level events report the
+// edge-space scheduling inputs: grains count epGrain-sized edge
+// ranges, not frontier blocks.
+func (e edgeParallelEngine) RunObserved(ctx context.Context, g *graph.CSR, source int32, ws *Workspace, rec obs.Recorder) (_ *Result, err error) {
+	var (
+		o    tobs
+		done *Result
+	)
+	defer func() { o.end(done, err) }()
 	defer func() { recoverToError(recover(), &err) }()
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
+	reusedWS := ws != nil
 	if ws == nil {
 		ws = NewWorkspace(g.NumVertices())
 	}
+	o = observeStart(rec, g, source, e.Name(), reusedWS)
 	r := ws.begin(g, source)
 	visited := ws.visited
 	visited.Set(int(source))
+	unvisited := int64(g.NumVertices()) - 1
 	queue := append(ws.queue[:0], source)
 	spare := ws.spare
 	level := int32(1)
@@ -118,10 +135,34 @@ func (e edgeParallelEngine) RunContext(ctx context.Context, g *graph.CSR, source
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		var (
+			stepStart time.Time
+			fe        int64
+		)
+		if o.live {
+			stepStart = time.Now()
+			fe = frontierEdges(g, queue, nil, true)
+		}
 		out, err := topDownLevelEdgeParallel(ctx, g, r, visited, queue, spare[:0], level, e.workers, ws)
 		if err != nil {
 			return nil, err
 		}
+		if o.live {
+			grains := fe/epGrain + 1
+			nworkers := resolveWorkers(e.workers, int(grains))
+			o.event(obs.Event{
+				Kind: obs.KindLevel, Step: level, Dir: obs.TopDown,
+				FrontierVertices: int64(len(queue)),
+				FrontierEdges:    fe,
+				Discovered:       int64(len(out)),
+				Unvisited:        unvisited,
+				Grains:           grains,
+				Workers:          int32(nworkers),
+				Wall:             stepStart,
+				WallDur:          time.Since(stepStart),
+			})
+		}
+		unvisited -= int64(len(out))
 		queue, spare = out, queue
 		r.Directions = append(r.Directions, TopDown)
 		r.StepScans = append(r.StepScans, 0)
@@ -129,6 +170,7 @@ func (e edgeParallelEngine) RunContext(ctx context.Context, g *graph.CSR, source
 	}
 	ws.retain(r, queue, spare)
 	r.finish(g)
+	done = r
 	return r, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // Engine is the unified execution interface over every BFS kernel in
@@ -33,6 +34,14 @@ type Engine interface {
 	// *PanicError. On error the workspace is quiescent and safe to
 	// reuse or return to a pool.
 	RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error)
+	// RunObserved is RunContext with a telemetry recorder attached
+	// (see internal/obs): the traversal emits a start event, one event
+	// per expansion step carrying the per-level work counts, a switch
+	// event at each direction change, and an end event — all sharing
+	// one process-unique TraversalID. rec may be nil or obs.Nop, in
+	// which case RunObserved is exactly RunContext: no clock reads, no
+	// event construction, the steady-state 0 allocs/op gate holds.
+	RunObserved(ctx context.Context, g *graph.CSR, source int32, ws *Workspace, rec obs.Recorder) (*Result, error)
 }
 
 // policyEngine is the direction-policy-driven level-synchronized
@@ -58,11 +67,19 @@ func (e *policyEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, 
 
 // RunContext implements Engine.
 func (e *policyEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunObserved(ctx, g, source, ws, nil)
+}
+
+// RunObserved implements Engine.
+func (e *policyEngine) RunObserved(ctx context.Context, g *graph.CSR, source int32, ws *Workspace, rec obs.Recorder) (*Result, error) {
 	pol := e.policy
 	if e.newPolicy != nil {
 		pol = e.newPolicy()
 	}
-	opts := Options{Policy: pol, Workers: e.workers, CheckInvariants: e.checkInvariants}
+	opts := Options{
+		Policy: pol, Workers: e.workers, CheckInvariants: e.checkInvariants,
+		Recorder: rec, Label: e.name,
+	}
 	return RunWithContext(ctx, g, source, opts, ws)
 }
 
@@ -116,7 +133,10 @@ func HongEngine(workers int) Engine {
 // bridge for callers that already hold a policy (core.Execute,
 // core.Measure). The options' Policy instance is used as-is; hand
 // stateful policies to AdaptiveEngine instead so each traversal gets a
-// fresh one.
+// fresh one. The options' Recorder and Label are not captured:
+// telemetry attaches per call through Engine.RunObserved (callers that
+// want a recorder baked into an Options value should call
+// RunWithContext directly).
 func EngineFor(opts Options) Engine {
 	name := "policy"
 	switch p := opts.Policy.(type) {

@@ -4,8 +4,10 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // ManyOptions configure a batched multi-root execution.
@@ -19,6 +21,13 @@ type ManyOptions struct {
 	Concurrency int
 	// Pool supplies the traversal workspaces; nil uses DefaultPool.
 	Pool *WorkspacePool
+	// Recorder receives the batch's telemetry: a root_dispatch /
+	// root_done pair per claimed root from the dispatcher, plus every
+	// traversal-level event from the engine (via Engine.RunObserved).
+	// One recorder instance is shared by all in-flight roots, so it
+	// must be safe for concurrent use — obs.Metrics and obs.TraceWriter
+	// both are. nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 func (o ManyOptions) withDefaults() ManyOptions {
@@ -95,16 +104,14 @@ func RunManyFuncContext(ctx context.Context, g *graph.CSR, roots []int32, opts M
 	}
 	workers := resolveWorkers(opts.Concurrency, len(roots))
 	n := g.NumVertices()
+	rec := opts.Recorder
+	live := obs.Live(rec)
 
 	if workers == 1 {
 		ws := opts.Pool.Get(n)
 		defer opts.Pool.Put(ws)
 		for i, root := range roots {
-			r, err := opts.Engine.RunContext(ctx, g, root, ws)
-			if err != nil {
-				return err
-			}
-			if err := fn(i, root, r); err != nil {
+			if err := runManyOne(ctx, g, opts, ws, rec, live, 0, i, root, fn); err != nil {
 				return err
 			}
 		}
@@ -124,7 +131,7 @@ func RunManyFuncContext(ctx context.Context, g *graph.CSR, roots []int32, opts M
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			ws := opts.Pool.Get(n)
 			defer opts.Pool.Put(ws)
@@ -142,17 +149,45 @@ func RunManyFuncContext(ctx context.Context, g *graph.CSR, roots []int32, opts M
 				if failed.Load() {
 					return
 				}
-				r, err := opts.Engine.RunContext(ctx, g, roots[i], ws)
-				if err == nil {
-					err = fn(i, roots[i], r)
-				}
-				if err != nil {
+				if err := runManyOne(ctx, g, opts, ws, rec, live, worker, i, roots[i], fn); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// runManyOne traverses one claimed root and delivers it to fn,
+// bracketing the work with dispatch telemetry: root_dispatch when the
+// claim starts, root_done when the result has been delivered (Detail
+// set if the traversal or the callback failed). The engine's own
+// traversal events land between the pair on the same recorder.
+func runManyOne(ctx context.Context, g *graph.CSR, opts ManyOptions, ws *Workspace, rec obs.Recorder, live bool, worker, i int, root int32, fn func(i int, root int32, r *Result) error) error {
+	var start time.Time
+	if live {
+		start = time.Now()
+		rec.Event(obs.Event{
+			Kind: obs.KindRootDispatch, Root: root, Index: int32(i),
+			Dir: obs.DirNone, Workers: int32(worker), Wall: start,
+		})
+	}
+	r, err := opts.Engine.RunObserved(ctx, g, root, ws, rec)
+	if err == nil {
+		err = fn(i, root, r)
+	}
+	if live {
+		e := obs.Event{
+			Kind: obs.KindRootDone, Root: root, Index: int32(i),
+			Dir: obs.DirNone, Workers: int32(worker),
+			Wall: time.Now(), WallDur: time.Since(start),
+		}
+		if err != nil {
+			e.Detail = err.Error()
+		}
+		rec.Event(e)
+	}
+	return err
 }

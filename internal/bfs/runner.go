@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"crossbfs/internal/bitmap"
 	"crossbfs/internal/graph"
 	"crossbfs/internal/invariant"
+	"crossbfs/internal/obs"
 )
 
 // StepInfo is what a switching policy sees before each expansion step:
@@ -20,6 +22,8 @@ type StepInfo struct {
 	// FrontierVertices is |V|cq, the current-queue vertex count.
 	FrontierVertices int64
 	// FrontierEdges is |E|cq, the sum of frontier vertex degrees.
+	// It is -1 when collection was skipped: the policy opted out via
+	// EdgeCountOptOut and no live recorder asked for it either.
 	FrontierEdges int64
 	// UnvisitedVertices counts vertices without a level yet.
 	UnvisitedVertices int64
@@ -39,11 +43,33 @@ type PolicyFunc func(StepInfo) Direction
 // Choose implements Policy.
 func (f PolicyFunc) Choose(s StepInfo) Direction { return f(s) }
 
+// EdgeCountOptOut is the optional interface a Policy implements to
+// decline the per-step |E|cq sum. Computing StepInfo.FrontierEdges
+// costs an O(|V|cq) degree pass per level; policies that never read it
+// (the fixed-direction baselines, Hong's vertex-count rule) return
+// false here and the runner skips the pass, leaving FrontierEdges at
+// -1 — unless a live telemetry recorder is attached, in which case the
+// sum is collected anyway because the per-level events carry it.
+// Policies without the method are assumed to need edges.
+type EdgeCountOptOut interface {
+	NeedsFrontierEdges() bool
+}
+
+// fixedPolicy always chooses one direction; it opts out of the |E|cq
+// computation it would never read.
+type fixedPolicy Direction
+
+// Choose implements Policy.
+func (p fixedPolicy) Choose(StepInfo) Direction { return Direction(p) }
+
+// NeedsFrontierEdges implements EdgeCountOptOut.
+func (p fixedPolicy) NeedsFrontierEdges() bool { return false }
+
 // AlwaysTopDown and AlwaysBottomUp are the single-direction baselines
 // (the paper's *TD and *BU columns).
 var (
-	AlwaysTopDown  Policy = PolicyFunc(func(StepInfo) Direction { return TopDown })
-	AlwaysBottomUp Policy = PolicyFunc(func(StepInfo) Direction { return BottomUp })
+	AlwaysTopDown  Policy = fixedPolicy(TopDown)
+	AlwaysBottomUp Policy = fixedPolicy(BottomUp)
 )
 
 // DefaultM and DefaultN are the fallback switching thresholds: the
@@ -111,6 +137,15 @@ type Options struct {
 	// per step plus O(V+E) once; the test suites keep it on, and
 	// production callers can enable it to fence suspected races.
 	CheckInvariants bool
+	// Recorder receives the traversal's telemetry events (see
+	// internal/obs): traversal start/end, one event per expansion step
+	// with the Fig. 4 work counts, and direction switches. nil (or
+	// obs.Nop) disables telemetry entirely — no clock reads, no event
+	// construction — preserving the steady-state 0 allocs/op gate.
+	Recorder obs.Recorder
+	// Label names the engine in emitted events (obs.Event.Engine).
+	// Empty means "policy".
+	Label string
 }
 
 // Run executes a level-synchronized BFS from source, choosing the
@@ -160,6 +195,13 @@ func RunContext(ctx context.Context, g *graph.CSR, source int32, opts Options) (
 //     it, so a recycled post-cancel workspace behaves bit-identically
 //     to a fresh one.
 func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Options, ws *Workspace) (_ *Result, err error) {
+	var (
+		o    tobs
+		done *Result
+	)
+	// Registered before the recover defer so it runs after it (LIFO)
+	// and sees the final error — including a contained panic.
+	defer func() { o.end(done, err) }()
 	defer func() { recoverToError(recover(), &err) }()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -176,9 +218,18 @@ func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Option
 			return nil, err
 		}
 	}
+	// The |E|cq degree pass is opt-out (EdgeCountOptOut) but a live
+	// recorder re-enables it: the per-level events carry the count.
+	needEdges := true
+	if oo, ok := policy.(EdgeCountOptOut); ok {
+		needEdges = oo.NeedsFrontierEdges()
+	}
+	reusedWS := ws != nil
 	if ws == nil {
 		ws = NewWorkspace(g.NumVertices())
 	}
+	o = observeStart(opts.Recorder, g, source, opts.label(), reusedWS)
+	needEdges = needEdges || o.live
 
 	n := g.NumVertices()
 	r := ws.begin(g, source)
@@ -194,6 +245,7 @@ func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Option
 	unvisited := int64(n) - 1
 	level := int32(1) // distance assigned by the upcoming step
 	totalEdges := g.NumEdges()
+	prevDir := Direction(-1) // no direction chosen yet
 
 	for frontierVertices > 0 {
 		// Level-boundary cancellation point: between two expansion
@@ -205,12 +257,27 @@ func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Option
 		info := StepInfo{
 			Step:              int(level),
 			FrontierVertices:  frontierVertices,
-			FrontierEdges:     frontierEdges(g, queue, front, queueValid),
+			FrontierEdges:     -1,
 			UnvisitedVertices: unvisited,
 			TotalVertices:     int64(n),
 			TotalEdges:        totalEdges,
 		}
+		if needEdges {
+			info.FrontierEdges = frontierEdges(g, queue, front, queueValid)
+		}
 		dir := policy.Choose(info)
+
+		var stepStart time.Time
+		if o.live {
+			stepStart = time.Now()
+			if prevDir >= 0 && dir != prevDir {
+				o.event(obs.Event{
+					Kind: obs.KindSwitch, Step: level,
+					Dir: obs.Direction(dir), Wall: stepStart,
+				})
+			}
+		}
+		prevDir = dir
 
 		var foundCount, scanCount int64
 		switch dir {
@@ -259,6 +326,21 @@ func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Option
 
 		r.Directions = append(r.Directions, dir)
 		r.StepScans = append(r.StepScans, scanCount)
+		if o.live {
+			grains, nworkers := stepSchedule(dir, frontierVertices, int64(n), opts.Workers)
+			o.event(obs.Event{
+				Kind: obs.KindLevel, Step: level, Dir: obs.Direction(dir),
+				FrontierVertices: info.FrontierVertices,
+				FrontierEdges:    info.FrontierEdges,
+				Discovered:       foundCount,
+				Unvisited:        info.UnvisitedVertices,
+				Scans:            scanCount,
+				Grains:           grains,
+				Workers:          int32(nworkers),
+				Wall:             stepStart,
+				WallDur:          time.Since(stepStart),
+			})
+		}
 		frontierVertices = foundCount
 		unvisited -= foundCount
 		level++
@@ -271,7 +353,16 @@ func RunWithContext(ctx context.Context, g *graph.CSR, source int32, opts Option
 	}
 	ws.retain(r, queue, spare)
 	r.finish(g)
+	done = r
 	return r, nil
+}
+
+// label names the traversal in telemetry events.
+func (o Options) label() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	return "policy"
 }
 
 // frontierEdges computes |E|cq for the active representation.

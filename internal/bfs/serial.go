@@ -2,8 +2,10 @@ package bfs
 
 import (
 	"context"
+	"time"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // serialEngine is the textbook queue-based BFS as an Engine. It is the
@@ -24,20 +26,40 @@ func (e serialEngine) Run(g *graph.CSR, source int32, ws *Workspace) (*Result, e
 
 // RunContext implements Engine. The serial kernel has no goroutines
 // to contain, so cancellation is observed once per level.
-func (serialEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (_ *Result, err error) {
+func (e serialEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Result, error) {
+	return e.RunObserved(ctx, g, source, ws, nil)
+}
+
+// RunObserved implements Engine. Serial levels are all top-down, so
+// the event stream has no switch events; per-level events still carry
+// the exact |V|cq and per-step wall time.
+func (e serialEngine) RunObserved(ctx context.Context, g *graph.CSR, source int32, ws *Workspace, rec obs.Recorder) (_ *Result, err error) {
+	var (
+		o    tobs
+		done *Result
+	)
+	defer func() { o.end(done, err) }()
 	defer func() { recoverToError(recover(), &err) }()
 	if err := checkSource(g, source); err != nil {
 		return nil, err
 	}
+	reusedWS := ws != nil
 	if ws == nil {
 		ws = NewWorkspace(g.NumVertices())
 	}
+	o = observeStart(rec, g, source, e.Name(), reusedWS)
 	r := ws.begin(g, source)
+	unvisited := int64(g.NumVertices()) - 1
+	step := int32(1)
 	cq := append(ws.queue[:0], source)
 	nq := ws.spare[:0]
 	for len(cq) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		var stepStart time.Time
+		if o.live {
+			stepStart = time.Now()
 		}
 		nq = nq[:0]
 		for _, u := range cq {
@@ -51,10 +73,26 @@ func (serialEngine) RunContext(ctx context.Context, g *graph.CSR, source int32, 
 		}
 		r.Directions = append(r.Directions, TopDown)
 		r.StepScans = append(r.StepScans, 0)
+		if o.live {
+			o.event(obs.Event{
+				Kind: obs.KindLevel, Step: step, Dir: obs.TopDown,
+				FrontierVertices: int64(len(cq)),
+				FrontierEdges:    frontierEdges(g, cq, nil, true),
+				Discovered:       int64(len(nq)),
+				Unvisited:        unvisited,
+				Grains:           1,
+				Workers:          1,
+				Wall:             stepStart,
+				WallDur:          time.Since(stepStart),
+			})
+		}
+		unvisited -= int64(len(nq))
+		step++
 		cq, nq = nq, cq
 	}
 	ws.retain(r, cq, nq)
 	r.finish(g)
+	done = r
 	return r, nil
 }
 

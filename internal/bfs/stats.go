@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // LevelStats holds the exact work counts of one expansion step,
@@ -193,6 +194,26 @@ func TraceFromWith(g *graph.CSR, source int32, ws *Workspace) (*Trace, error) {
 // of tracing it to completion first.
 func TraceFromContext(ctx context.Context, g *graph.CSR, source int32, ws *Workspace) (*Trace, error) {
 	r, err := SerialEngine().RunContext(ctx, g, source, ws)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeTrace(g, r)
+}
+
+// TraceFromObserved is TraceFromContext with a telemetry recorder on
+// the reference traversal, so drivers that both price plans and export
+// a trace file (bfsrun -trace) get the real per-level events and the
+// analytical Trace from one BFS instead of two.
+//
+// Note the division of labour: live per-level telemetry flows through
+// the Recorder as the traversal runs, while the Trace's exhaustive
+// work profile (|E|un, bottom-up scan counts for directions that did
+// not execute) is derived afterwards by ComputeTrace. The runner
+// collects nothing for either unless asked — policies that opt out of
+// |E|cq via EdgeCountOptOut skip the per-level degree pass whenever no
+// live recorder is attached.
+func TraceFromObserved(ctx context.Context, g *graph.CSR, source int32, ws *Workspace, rec obs.Recorder) (*Trace, error) {
+	r, err := SerialEngine().RunObserved(ctx, g, source, ws, rec)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
+	"crossbfs/internal/obs"
 )
 
 // Multi-coprocessor extension. The paper motivates heterogeneous BFS
@@ -74,6 +75,15 @@ func partitionStats(s bfs.LevelStats, k int) bfs.LevelStats {
 
 // SimulateMulti prices the multi-coprocessor plan against a trace.
 func SimulateMulti(tr *bfs.Trace, plan MultiCross, link archsim.Link) (*Timing, error) {
+	return SimulateMultiObserved(tr, plan, link, nil)
+}
+
+// SimulateMultiObserved is SimulateMulti with a telemetry recorder on
+// the simulated clock (see SimulateObserved for the event shapes). The
+// broadcast to the coprocessor set and the per-level ring all-reduce
+// both surface as handoff events; partitioned bottom-up levels land on
+// a lane named after the whole plan, since k devices run them jointly.
+func SimulateMultiObserved(tr *bfs.Trace, plan MultiCross, link archsim.Link, rec obs.Recorder) (*Timing, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,6 +92,16 @@ func SimulateMulti(tr *bfs.Trace, plan MultiCross, link archsim.Link) (*Timing, 
 		Plan:         plan.Name(),
 		Steps:        make([]StepTiming, 0, len(tr.Steps)),
 		EdgesVisited: tr.EdgesVisited,
+	}
+
+	live := obs.Live(rec)
+	var id uint64
+	if live {
+		id = obs.NextTraversalID()
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+		})
 	}
 
 	bitmapBytes := (tr.NumVertices + 7) / 8
@@ -96,6 +116,8 @@ func SimulateMulti(tr *bfs.Trace, plan MultiCross, link archsim.Link) (*Timing, 
 	for _, s := range tr.Steps {
 		var st StepTiming
 		st.Step = s.Step
+		var movedBytes int64
+		migrateFrom := ""
 		switch {
 		case !entered && small(s, plan.M1, plan.N1):
 			st.ArchName = plan.Host.Name
@@ -106,6 +128,8 @@ func SimulateMulti(tr *bfs.Trace, plan MultiCross, link archsim.Link) (*Timing, 
 		default:
 			if !entered {
 				// Broadcast the traversal state to every coprocessor.
+				movedBytes = int64(k) * (2*bitmapBytes + 8*discoveredSinceHost)
+				migrateFrom = plan.Host.Name
 				st.Transfer = float64(k) * link.TransferTime(2*bitmapBytes+8*discoveredSinceHost)
 				entered = true
 			}
@@ -134,12 +158,46 @@ func SimulateMulti(tr *bfs.Trace, plan MultiCross, link archsim.Link) (*Timing, 
 				if k > 1 {
 					ringBytes := 2 * bitmapBytes * int64(k-1) / int64(k)
 					st.Transfer += link.TransferTime(ringBytes)
+					movedBytes += int64(k) * ringBytes
+					if migrateFrom == "" {
+						migrateFrom = st.ArchName // all-reduce among peers
+					}
 				}
 			}
+		}
+		if live {
+			if st.Transfer > 0 {
+				rec.Event(obs.Event{
+					Kind: obs.KindHandoff, TraversalID: id, Root: tr.Source,
+					Engine: plan.Name(), Step: int32(s.Step), Dir: obs.DirNone,
+					From: migrateFrom, Device: st.ArchName, Bytes: movedBytes,
+					SimStart: t.Total, SimDur: st.Transfer,
+				})
+			}
+			rec.Event(obs.Event{
+				Kind: obs.KindSimStep, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Step: int32(s.Step),
+				Dir:              obs.Direction(st.Dir),
+				Device:           st.ArchName,
+				FrontierVertices: s.FrontierVertices,
+				FrontierEdges:    s.FrontierEdges,
+				Discovered:       s.Discovered,
+				Unvisited:        s.UnvisitedVertices,
+				Scans:            s.BottomUpScans,
+				SimStart:         t.Total + st.Transfer,
+				SimDur:           st.Kernel,
+			})
 		}
 		t.Steps = append(t.Steps, st)
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
+	}
+	if live {
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+			SimStart: t.Total, SimDur: t.Total,
+		})
 	}
 	return t, nil
 }

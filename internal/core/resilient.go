@@ -9,6 +9,7 @@ import (
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // Resilient execution: the degradation ladder. A production
@@ -45,6 +46,12 @@ type ResilientOptions struct {
 	// Workers is the traversal parallelism for ExecuteResilient;
 	// 0 means GOMAXPROCS, 1 forces the serial kernels.
 	Workers int
+	// Recorder receives the execution's telemetry (see internal/obs):
+	// the plan timeline (sim steps, handoffs) plus one retry / replan /
+	// fault event mirroring every FaultRecord the ladder writes. In
+	// ExecuteResilient the real traversal's wall-clock events flow to
+	// the same recorder. nil disables telemetry.
+	Recorder obs.Recorder
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -116,6 +123,39 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		EdgesVisited: tr.EdgesVisited,
 	}
 
+	rec := opts.Recorder
+	live := obs.Live(rec)
+	var id uint64
+	if live {
+		id = obs.NextTraversalID()
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+		})
+	}
+	// noteFault appends one ladder record and mirrors it as a telemetry
+	// event — retry → KindRetry, replan → KindReplan, slowdown/fatal →
+	// KindFault — stamped at the current simulated time.
+	noteFault := func(fr FaultRecord) {
+		t.Faults = append(t.Faults, fr)
+		if !live {
+			return
+		}
+		kind := obs.KindFault
+		switch fr.Action {
+		case "retry":
+			kind = obs.KindRetry
+		case "replan":
+			kind = obs.KindReplan
+		}
+		rec.Event(obs.Event{
+			Kind: kind, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Step: int32(fr.Step), Dir: obs.DirNone,
+			Device: fr.Device, Detail: fr.Action + ": " + fr.Detail,
+			SimStart: t.Total,
+		})
+	}
+
 	var devices []archsim.Arch
 	if dl, ok := plan.(DeviceLister); ok {
 		devices = dl.Devices()
@@ -175,7 +215,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		if _, crashed := sched.CrashedBy(arch.Name, arch.Kind.String(), s.Step); crashed {
 			surv, ok := survivor(s.Step)
 			if !ok {
-				t.Faults = append(t.Faults, FaultRecord{
+				noteFault(FaultRecord{
 					Step: s.Step, Kind: fault.DeviceCrash, Device: arch.Name,
 					Action: "fatal", Detail: "no surviving device",
 				})
@@ -187,7 +227,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 			if !crashSeen[arch.Name] {
 				crashSeen[arch.Name] = true
 				t.Replans++
-				t.Faults = append(t.Faults, FaultRecord{
+				noteFault(FaultRecord{
 					Step: s.Step, Kind: fault.DeviceCrash, Device: arch.Name,
 					Action: "replan", Detail: "steps moved to " + surv.Name,
 				})
@@ -196,11 +236,15 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		}
 
 		st := StepTiming{Step: s.Step, ArchName: arch.Name, Kind: arch.Kind, Dir: dir}
+		var movedBytes int64
+		migrateFrom := ""
 		if havePrev && prev.Name != arch.Name {
 			// Migration: ship the bitmaps and the entries discovered
 			// since the target last held the traversal (as in Simulate),
 			// retrying dropped transfers with capped exponential backoff.
-			base := link.TransferTime(2*bitmapBytes + 8*discoveredSinceSwitch)
+			movedBytes = 2*bitmapBytes + 8*discoveredSinceSwitch
+			migrateFrom = prev.Name
+			base := link.TransferTime(movedBytes)
 			wasted := 0.0
 			backoff := opts.RetryBackoff
 			retries := 0
@@ -219,7 +263,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 			switch {
 			case migrated:
 				if retries > 0 {
-					t.Faults = append(t.Faults, FaultRecord{
+					noteFault(FaultRecord{
 						Step: s.Step, Kind: fault.LinkTransient, Device: arch.Name,
 						Action: "retry", Detail: fmt.Sprintf("transfer succeeded after %d retries", retries),
 					})
@@ -230,7 +274,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 				// Retries exhausted: abandon the migration and run the
 				// step where the traversal state already is.
 				t.Replans++
-				t.Faults = append(t.Faults, FaultRecord{
+				noteFault(FaultRecord{
 					Step: s.Step, Kind: fault.LinkTransient, Device: arch.Name,
 					Action: "replan", Detail: fmt.Sprintf("transfer retries exhausted; staying on %s", prev.Name),
 				})
@@ -240,7 +284,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 			default:
 				// Migrating off a dead device over a dead link: the
 				// traversal state is unreachable.
-				t.Faults = append(t.Faults, FaultRecord{
+				noteFault(FaultRecord{
 					Step: s.Step, Kind: fault.LinkTransient, Device: arch.Name,
 					Action: "fatal", Detail: "transfer retries exhausted and source device is down",
 				})
@@ -254,7 +298,7 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		if f := sched.SlowdownAt(arch.Name, arch.Kind.String(), s.Step); f > 1 {
 			if !slowSeen[arch.Name] {
 				slowSeen[arch.Name] = true
-				t.Faults = append(t.Faults, FaultRecord{
+				noteFault(FaultRecord{
 					Step: s.Step, Kind: fault.KernelSlowdown, Device: arch.Name,
 					Action: "slowdown", Detail: fmt.Sprintf("rates derated x%g", f),
 				})
@@ -263,11 +307,45 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		}
 		st.Kernel = arch.StepTime(dir, s)
 
+		if live {
+			// Transfer-then-kernel, as in SimulateObserved. An abandoned
+			// migration shows as a handoff whose From equals its target:
+			// the wasted wire time of the failed attempts.
+			if st.Transfer > 0 {
+				rec.Event(obs.Event{
+					Kind: obs.KindHandoff, TraversalID: id, Root: tr.Source,
+					Engine: plan.Name(), Step: int32(s.Step), Dir: obs.DirNone,
+					From: migrateFrom, Device: st.ArchName, Bytes: movedBytes,
+					SimStart: t.Total, SimDur: st.Transfer,
+				})
+			}
+			rec.Event(obs.Event{
+				Kind: obs.KindSimStep, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Step: int32(s.Step),
+				Dir:              obs.Direction(dir),
+				Device:           st.ArchName,
+				FrontierVertices: s.FrontierVertices,
+				FrontierEdges:    s.FrontierEdges,
+				Discovered:       s.Discovered,
+				Unvisited:        s.UnvisitedVertices,
+				Scans:            s.BottomUpScans,
+				SimStart:         t.Total + st.Transfer,
+				SimDur:           st.Kernel,
+			})
+		}
+
 		prev, havePrev = arch, true
 		discoveredSinceSwitch += s.Discovered
 		t.Steps = append(t.Steps, st)
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
+	}
+	if live {
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+			SimStart: t.Total, SimDur: t.Total,
+		})
 	}
 	return t, nil
 }
@@ -285,7 +363,11 @@ func ExecuteResilient(ctx context.Context, g *graph.CSR, source int32, plan Plan
 	policy := bfs.PolicyFunc(func(s bfs.StepInfo) bfs.Direction {
 		return stepper.Place(s).Dir
 	})
-	res, err := bfs.RunWithContext(ctx, g, source, bfs.Options{Policy: policy, Workers: opts.Workers}, nil)
+	runOpts := bfs.Options{
+		Policy: policy, Workers: opts.Workers,
+		Recorder: opts.Recorder, Label: plan.Name(),
+	}
+	res, err := bfs.RunWithContext(ctx, g, source, runOpts, nil)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, nil, nil, ctxErr

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 )
 
 // StepTiming is the priced outcome of one expansion step — one row of
@@ -67,11 +69,31 @@ func (t *Timing) GTEPS() float64 { return t.TEPS() / 1e9 }
 // everything discovered so far, which is the mechanism behind the
 // paper's 695x best-to-worst spread for cross-architecture switching.
 func Simulate(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
+	return SimulateObserved(tr, plan, link, nil)
+}
+
+// SimulateObserved is Simulate with a telemetry recorder on the
+// simulated clock: it opens a plan timeline (KindPlanStart), emits one
+// KindSimStep per priced level on its device's lane and a KindHandoff
+// for every cross-device migration (SimStart/SimDur in modeled
+// seconds), and closes with KindPlanEnd carrying the plan's total.
+// rec nil or obs.Nop makes it exactly Simulate.
+func SimulateObserved(tr *bfs.Trace, plan Plan, link archsim.Link, rec obs.Recorder) *Timing {
 	stepper := plan.Begin()
 	t := &Timing{
 		Plan:         plan.Name(),
 		Steps:        make([]StepTiming, 0, len(tr.Steps)),
 		EdgesVisited: tr.EdgesVisited,
+	}
+
+	live := obs.Live(rec)
+	var id uint64
+	if live {
+		id = obs.NextTraversalID()
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+		})
 	}
 
 	prevArch := ""
@@ -96,9 +118,36 @@ func Simulate(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
 			Dir:      pl.Dir,
 			Kernel:   pl.Arch.StepTime(pl.Dir, s),
 		}
+		var movedBytes int64
 		if prevArch != "" && prevArch != pl.Arch.Name {
-			st.Transfer = link.TransferTime(2*bitmapBytes + 8*discoveredSinceSwitch)
+			movedBytes = 2*bitmapBytes + 8*discoveredSinceSwitch
+			st.Transfer = link.TransferTime(movedBytes)
 			discoveredSinceSwitch = 0
+		}
+		if live {
+			// The timeline plays transfer-then-kernel: the state must
+			// arrive before the device can expand the level.
+			if st.Transfer > 0 {
+				rec.Event(obs.Event{
+					Kind: obs.KindHandoff, TraversalID: id, Root: tr.Source,
+					Engine: plan.Name(), Step: int32(s.Step), Dir: obs.DirNone,
+					From: prevArch, Device: pl.Arch.Name, Bytes: movedBytes,
+					SimStart: t.Total, SimDur: st.Transfer,
+				})
+			}
+			rec.Event(obs.Event{
+				Kind: obs.KindSimStep, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Step: int32(s.Step),
+				Dir:              obs.Direction(pl.Dir),
+				Device:           pl.Arch.Name,
+				FrontierVertices: s.FrontierVertices,
+				FrontierEdges:    s.FrontierEdges,
+				Discovered:       s.Discovered,
+				Unvisited:        s.UnvisitedVertices,
+				Scans:            s.BottomUpScans,
+				SimStart:         t.Total + st.Transfer,
+				SimDur:           st.Kernel,
+			})
 		}
 		prevArch = pl.Arch.Name
 		discoveredSinceSwitch += s.Discovered
@@ -106,6 +155,13 @@ func Simulate(tr *bfs.Trace, plan Plan, link archsim.Link) *Timing {
 		t.Steps = append(t.Steps, st)
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
+	}
+	if live {
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+			SimStart: t.Total, SimDur: t.Total,
+		})
 	}
 	return t
 }
@@ -122,19 +178,34 @@ func Execute(g *graph.CSR, source int32, plan Plan, link archsim.Link, workers i
 // returned Result aliases ws (see bfs.RunWith); the Trace and Timing
 // own their memory and survive workspace reuse.
 func ExecuteWith(g *graph.CSR, source int32, plan Plan, link archsim.Link, workers int, ws *bfs.Workspace) (*bfs.Result, *bfs.Trace, *Timing, error) {
+	return ExecuteObserved(context.Background(), g, source, plan, link, workers, ws, nil)
+}
+
+// ExecuteObserved is ExecuteWith under a context and a telemetry
+// recorder. One recorder receives both halves of the run: the real
+// host traversal's wall-clock events (traversal start/levels/end,
+// labelled with the plan's name) and the priced plan timeline on the
+// simulated clock (via SimulateObserved) — which is how a single
+// bfsrun -trace file can show the actual kernels next to the modeled
+// cross-architecture schedule.
+func ExecuteObserved(ctx context.Context, g *graph.CSR, source int32, plan Plan, link archsim.Link, workers int, ws *bfs.Workspace, rec obs.Recorder) (*bfs.Result, *bfs.Trace, *Timing, error) {
 	stepper := plan.Begin()
 	policy := bfs.PolicyFunc(func(s bfs.StepInfo) bfs.Direction {
 		return stepper.Place(s).Dir
 	})
-	res, err := bfs.RunWith(g, source, bfs.Options{Policy: policy, Workers: workers}, ws)
+	opts := bfs.Options{Policy: policy, Workers: workers, Recorder: rec, Label: plan.Name()}
+	res, err := bfs.RunWithContext(ctx, g, source, opts, ws)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, nil, ctxErr
+		}
 		return nil, nil, nil, fmt.Errorf("core: executing plan %s: %w", plan.Name(), err)
 	}
 	tr, err := bfs.ComputeTrace(g, res)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: tracing plan %s: %w", plan.Name(), err)
 	}
-	timing := Simulate(tr, plan, link)
+	timing := SimulateObserved(tr, plan, link, rec)
 	// The replay must agree with what actually ran; a mismatch means a
 	// stateful plan behaved non-deterministically.
 	for i, st := range timing.Steps {

@@ -15,6 +15,14 @@
 // execution against the same schedule replays the same faults, which
 // is what makes the FuzzFaultSchedule fuzz target and the CLI's
 // -faults flag reproducible.
+//
+// Fault handling is observable: every fault the executor survives is
+// recorded both in the returned Timing's fault log and — when a
+// telemetry recorder is attached (core.ResilientOptions.Recorder) —
+// as retry/replan/fault events on the faulting device's timeline, so
+// a Chrome trace of a degraded run shows where the ladder acted. The
+// Device strings in schedules match the same archsim.Arch.Name keys
+// the telemetry events carry. See OBSERVABILITY.md.
 package fault
 
 import (

@@ -41,17 +41,17 @@ func TestParseRoundTrip(t *testing.T) {
 
 func TestParseRejects(t *testing.T) {
 	for _, spec := range []string{
-		"crash:GPU",           // missing step
-		"crash:@3",            // missing device
-		"transient:1.5",       // probability out of range
-		"transient:x",         // not a number
-		"slow:GPU@2",          // missing factor
-		"slow:GPU@2x0.5",      // factor < 1
-		"meteor:GPU@2",        // unknown kind
-		"justtext",            // no kind separator
-		"crash:GPU@-1",        // negative step
-		"transient:NaN",       // NaN probability
-		"slow:GPU@1xNaN",      // NaN factor
+		"crash:GPU",      // missing step
+		"crash:@3",       // missing device
+		"transient:1.5",  // probability out of range
+		"transient:x",    // not a number
+		"slow:GPU@2",     // missing factor
+		"slow:GPU@2x0.5", // factor < 1
+		"meteor:GPU@2",   // unknown kind
+		"justtext",       // no kind separator
+		"crash:GPU@-1",   // negative step
+		"transient:NaN",  // NaN probability
+		"slow:GPU@1xNaN", // NaN factor
 	} {
 		if _, err := Parse(spec, 1); err == nil {
 			t.Errorf("Parse(%q) accepted, want error", spec)

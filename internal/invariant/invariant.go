@@ -15,6 +15,14 @@
 // checks are O(V/64). They run inside the bfs and graph500 test
 // suites after every traversal, and inside bfs.Run itself when
 // Options.CheckInvariants is set.
+//
+// Division of labour with the observability layer (internal/obs):
+// invariant answers "is this traversal *correct*?" with hard errors;
+// obs answers "what did this traversal *do*?" with per-level events.
+// A run can enable both — CheckInvariants and a Recorder compose in
+// bfs.Options — and the trace-file schema has its own structural
+// validator (obs.ValidateTrace) playing this package's role for
+// exported telemetry.
 package invariant
 
 import (

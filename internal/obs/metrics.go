@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// Metrics is a Recorder that aggregates the event stream into
+// counters, gauges, and histograms — the always-on, cheap half of the
+// observability layer (TraceWriter is the detailed, per-run half).
+// Every update is a single atomic add, so a Metrics instance can be
+// shared by any number of concurrent traversals without contention
+// beyond cache-line bouncing.
+//
+// Export paths:
+//
+//   - Snapshot returns the current values as a plain map (stable keys).
+//   - WriteText renders a Prometheus-style text page.
+//   - Handler serves WriteText over HTTP (mount it wherever the
+//     process serves debug endpoints, e.g. next to net/http/pprof).
+//   - Publish registers the snapshot under a name in expvar, making it
+//     visible on /debug/vars alongside the runtime's own counters.
+type Metrics struct {
+	// Traversal lifecycle.
+	traversals    atomic.Int64 // KindTraversalStart
+	traversalErrs atomic.Int64 // KindTraversalEnd with Detail set
+	wsReuses      atomic.Int64 // KindTraversalStart with Reused
+	rootsStarted  atomic.Int64 // KindRootDispatch
+	rootsDone     atomic.Int64 // KindRootDone
+
+	// Per-level work.
+	levels     atomic.Int64
+	tdLevels   atomic.Int64
+	buLevels   atomic.Int64
+	switches   atomic.Int64
+	discovered atomic.Int64 // vertices assigned a parent
+	scans      atomic.Int64 // bottom-up adjacency entries scanned
+	grains     atomic.Int64 // grain blocks dispatched
+
+	// Simulated executions.
+	planRuns atomic.Int64
+	simSteps atomic.Int64
+	handoffs atomic.Int64
+	// handoffBytes totals the modeled payload moved between devices.
+	handoffBytes atomic.Int64
+
+	// Degradation ladder.
+	retries atomic.Int64
+	replans atomic.Int64
+	faults  atomic.Int64
+
+	// frontierHist[b] counts levels whose |V|cq had bit-length b
+	// (power-of-two buckets: bucket b covers [2^(b-1), 2^b)).
+	frontierHist [48]atomic.Int64
+	// levelWallHist[b] counts levels whose wall time had bit-length b
+	// in microseconds.
+	levelWallHist [48]atomic.Int64
+}
+
+// NewMetrics returns an empty aggregator.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Event implements Recorder.
+func (m *Metrics) Event(e Event) {
+	switch e.Kind {
+	case KindTraversalStart:
+		m.traversals.Add(1)
+		if e.Reused {
+			m.wsReuses.Add(1)
+		}
+	case KindTraversalEnd:
+		if e.Detail != "" {
+			m.traversalErrs.Add(1)
+		}
+	case KindLevel:
+		m.levels.Add(1)
+		if e.Dir == BottomUp {
+			m.buLevels.Add(1)
+		} else {
+			m.tdLevels.Add(1)
+		}
+		m.discovered.Add(e.Discovered)
+		m.scans.Add(e.Scans)
+		m.grains.Add(e.Grains)
+		m.frontierHist[histBucket(e.FrontierVertices)].Add(1)
+		m.levelWallHist[histBucket(e.WallDur.Microseconds())].Add(1)
+	case KindSwitch:
+		m.switches.Add(1)
+	case KindRootDispatch:
+		m.rootsStarted.Add(1)
+	case KindRootDone:
+		m.rootsDone.Add(1)
+	case KindPlanStart:
+		m.planRuns.Add(1)
+	case KindSimStep:
+		m.simSteps.Add(1)
+	case KindHandoff:
+		m.handoffs.Add(1)
+		m.handoffBytes.Add(e.Bytes)
+	case KindRetry:
+		m.retries.Add(1)
+	case KindReplan:
+		m.replans.Add(1)
+	case KindFault:
+		m.faults.Add(1)
+	}
+}
+
+// histBucket maps a non-negative value to its power-of-two bucket,
+// clamped to the histogram range.
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= 48 {
+		b = 47
+	}
+	return b
+}
+
+// Snapshot returns every scalar metric keyed by its stable name, plus
+// the non-empty histogram buckets as "<name>_le_2e<exp>" entries.
+func (m *Metrics) Snapshot() map[string]int64 {
+	s := map[string]int64{
+		"traversals_total":          m.traversals.Load(),
+		"traversal_errors_total":    m.traversalErrs.Load(),
+		"workspace_reuses_total":    m.wsReuses.Load(),
+		"roots_dispatched_total":    m.rootsStarted.Load(),
+		"roots_done_total":          m.rootsDone.Load(),
+		"levels_total":              m.levels.Load(),
+		"levels_topdown_total":      m.tdLevels.Load(),
+		"levels_bottomup_total":     m.buLevels.Load(),
+		"direction_switches_total":  m.switches.Load(),
+		"vertices_discovered_total": m.discovered.Load(),
+		"bottomup_scans_total":      m.scans.Load(),
+		"grains_dispatched_total":   m.grains.Load(),
+		"plan_runs_total":           m.planRuns.Load(),
+		"sim_steps_total":           m.simSteps.Load(),
+		"handoffs_total":            m.handoffs.Load(),
+		"handoff_bytes_total":       m.handoffBytes.Load(),
+		"retries_total":             m.retries.Load(),
+		"replans_total":             m.replans.Load(),
+		"faults_total":              m.faults.Load(),
+	}
+	for i := range m.frontierHist {
+		if v := m.frontierHist[i].Load(); v > 0 {
+			s[fmt.Sprintf("frontier_vertices_bucket_2e%02d", i)] = v
+		}
+	}
+	for i := range m.levelWallHist {
+		if v := m.levelWallHist[i].Load(); v > 0 {
+			s[fmt.Sprintf("level_wall_us_bucket_2e%02d", i)] = v
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot as a Prometheus-style text page:
+// "# HELP"-free, one "crossbfs_<name> <value>" line per metric, keys
+// sorted so diffs and scrapes are stable.
+func (m *Metrics) WriteText(w io.Writer) error {
+	s := m.Snapshot()
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "crossbfs_%s %d\n", k, s[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the pull-based text endpoint: GET it to scrape the
+// current counters.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = m.WriteText(w)
+	})
+}
+
+// Publish registers the metrics under name in the process-wide expvar
+// registry (visible at /debug/vars when an HTTP server with the
+// default mux is running). Like expvar.Publish, registering the same
+// name twice panics — publish once per process, at wiring time.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func feedMetrics(m *Metrics) {
+	events := []Event{
+		{Kind: KindTraversalStart, Reused: true},
+		{Kind: KindRootDispatch},
+		{Kind: KindLevel, Dir: TopDown, FrontierVertices: 1, Discovered: 10, Grains: 1, WallDur: 3 * time.Microsecond},
+		{Kind: KindSwitch, Dir: BottomUp},
+		{Kind: KindLevel, Dir: BottomUp, FrontierVertices: 10, Discovered: 100, Scans: 500, Grains: 4, WallDur: 9 * time.Microsecond},
+		{Kind: KindTraversalEnd},
+		{Kind: KindRootDone},
+		{Kind: KindTraversalStart},
+		{Kind: KindTraversalEnd, Detail: "context canceled"},
+		{Kind: KindPlanStart},
+		{Kind: KindSimStep},
+		{Kind: KindSimStep},
+		{Kind: KindHandoff, Bytes: 4096},
+		{Kind: KindPlanEnd},
+		{Kind: KindRetry},
+		{Kind: KindReplan},
+		{Kind: KindFault},
+	}
+	for _, e := range events {
+		m.Event(e)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	feedMetrics(m)
+	s := m.Snapshot()
+	want := map[string]int64{
+		"traversals_total":          2,
+		"traversal_errors_total":    1,
+		"workspace_reuses_total":    1,
+		"roots_dispatched_total":    1,
+		"roots_done_total":          1,
+		"levels_total":              2,
+		"levels_topdown_total":      1,
+		"levels_bottomup_total":     1,
+		"direction_switches_total":  1,
+		"vertices_discovered_total": 110,
+		"bottomup_scans_total":      500,
+		"grains_dispatched_total":   5,
+		"plan_runs_total":           1,
+		"sim_steps_total":           2,
+		"handoffs_total":            1,
+		"handoff_bytes_total":       4096,
+		"retries_total":             1,
+		"replans_total":             1,
+		"faults_total":              1,
+		// |V|cq 1 → bit-length 1; |V|cq 10 → bit-length 4.
+		"frontier_vertices_bucket_2e01": 1,
+		"frontier_vertices_bucket_2e04": 1,
+		// 3us → bit-length 2; 9us → bit-length 4.
+		"level_wall_us_bucket_2e02": 1,
+		"level_wall_us_bucket_2e04": 1,
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("snapshot[%q] = %d, want %d", k, s[k], v)
+		}
+	}
+}
+
+func TestHistBucket(t *testing.T) {
+	cases := map[int64]int{-5: 0, 0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 1 << 40: 41, 1<<62 + 5: 47}
+	for v, want := range cases {
+		if got := histBucket(v); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestMetricsTextEndpoint(t *testing.T) {
+	m := NewMetrics()
+	feedMetrics(m)
+
+	var sb strings.Builder
+	if err := m.WriteText(&sb); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "crossbfs_levels_total 2\n") {
+		t.Errorf("text page missing levels_total:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Errorf("text page not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+}
+
+func TestMetricsConcurrentEvents(t *testing.T) {
+	m := NewMetrics()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Event(Event{Kind: KindLevel, Dir: TopDown, FrontierVertices: int64(i), Discovered: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s["levels_total"] != workers*per {
+		t.Errorf("levels_total = %d, want %d", s["levels_total"], workers*per)
+	}
+	if s["vertices_discovered_total"] != workers*per {
+		t.Errorf("vertices_discovered_total = %d, want %d", s["vertices_discovered_total"], workers*per)
+	}
+}

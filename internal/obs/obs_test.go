@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// capture is a test recorder that stores events in order.
+type capture struct {
+	events []Event
+}
+
+func (c *capture) Event(e Event) { c.events = append(c.events, e) }
+
+func TestLiveAndOrNop(t *testing.T) {
+	if Live(nil) {
+		t.Error("Live(nil) = true, want false")
+	}
+	if Live(Nop) {
+		t.Error("Live(Nop) = true, want false")
+	}
+	c := &capture{}
+	if !Live(c) {
+		t.Error("Live(recorder) = false, want true")
+	}
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) != Nop")
+	}
+	if OrNop(c) != Recorder(c) {
+		t.Error("OrNop(rec) did not return rec")
+	}
+	// Nop must accept events without effect.
+	Nop.Event(Event{Kind: KindLevel})
+}
+
+func TestMulti(t *testing.T) {
+	a, b := &capture{}, &capture{}
+
+	if got := Multi(); got != Nop {
+		t.Errorf("Multi() = %v, want Nop", got)
+	}
+	if got := Multi(nil, Nop); got != Nop {
+		t.Errorf("Multi(nil, Nop) = %v, want Nop", got)
+	}
+	if got := Multi(nil, a, Nop); got != Recorder(a) {
+		t.Errorf("Multi with one live recorder should unwrap it")
+	}
+
+	m := Multi(a, nil, b)
+	m.Event(Event{Kind: KindSwitch, Step: 3})
+	m.Event(Event{Kind: KindLevel, Step: 4})
+	for name, c := range map[string]*capture{"a": a, "b": b} {
+		if len(c.events) != 2 {
+			t.Fatalf("recorder %s got %d events, want 2", name, len(c.events))
+		}
+		if c.events[0].Kind != KindSwitch || c.events[1].Step != 4 {
+			t.Errorf("recorder %s got events out of order: %+v", name, c.events)
+		}
+	}
+}
+
+func TestNextTraversalIDUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan uint64, n)
+	for i := 0; i < n/10; i++ {
+		go func() {
+			for j := 0; j < 10; j++ {
+				ids <- NextTraversalID()
+			}
+		}()
+	}
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		id := <-ids
+		if id == 0 {
+			t.Fatal("NextTraversalID returned 0; 0 is reserved for unattributed events")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate traversal ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestKindAndDirectionStrings(t *testing.T) {
+	kinds := map[Kind]string{
+		KindTraversalStart: "traversal_start",
+		KindLevel:          "level",
+		KindSwitch:         "switch",
+		KindTraversalEnd:   "traversal_end",
+		KindRootDispatch:   "root_dispatch",
+		KindRootDone:       "root_done",
+		KindPlanStart:      "plan_start",
+		KindSimStep:        "sim_step",
+		KindHandoff:        "handoff",
+		KindPlanEnd:        "plan_end",
+		KindRetry:          "retry",
+		KindReplan:         "replan",
+		KindFault:          "fault",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Error("unknown Kind should stringify as unknown")
+	}
+	if TopDown.String() != "TD" || BottomUp.String() != "BU" || DirNone.String() != "" {
+		t.Error("Direction strings drifted from TD/BU/empty")
+	}
+}
+
+func TestEventIsFlat(t *testing.T) {
+	// The zero-alloc contract relies on Event being a pure value: a
+	// stack copy with no heap-reachable parts beyond interned strings.
+	// Passing one through an interface method must not allocate.
+	var sink Recorder = Nop
+	e := Event{Kind: KindLevel, Step: 7, Wall: time.Now()}
+	allocs := testing.AllocsPerRun(100, func() { sink.Event(e) })
+	if allocs != 0 {
+		t.Errorf("emitting to Nop allocated %v times per call, want 0", allocs)
+	}
+}

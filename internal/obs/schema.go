@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TraceSummary is what ValidateTrace learns about a trace file. Beyond
+// raw counts it reconstructs, per timeline, the direction each step
+// ran in — the per-level record that lets a reader (or a test, or
+// make trace-smoke) recover the exact top-down→bottom-up→top-down
+// switch levels a heuristic chose.
+type TraceSummary struct {
+	Events   int // total elements of traceEvents
+	Slices   int // ph "X"
+	Instants int // ph "i"
+	Metadata int // ph "M"
+
+	Levels   int // cat "level" slices (real traversals)
+	SimSteps int // cat "sim" slices (priced plans)
+	Handoffs int // cat "handoff" slices
+	Switches int // cat "switch" instants
+	Faults   int // cat "fault" instants
+
+	// Processes maps pid to its process_name metadata.
+	Processes map[int]string
+	// Threads maps "pid/tid" to its thread_name metadata.
+	Threads map[string]string
+
+	// LevelDirs and SimDirs map tid to the per-step direction sequence
+	// ("TD"/"BU", index 0 = step 1) recovered from level and sim_step
+	// slices respectively. The switch schedule of a traversal is read
+	// directly off this sequence.
+	LevelDirs map[int][]string
+	SimDirs   map[int][]string
+}
+
+// SwitchSteps returns the 1-based steps at which dirs changes
+// direction, e.g. [TD TD BU BU TD] → [3 5].
+func SwitchSteps(dirs []string) []int {
+	var steps []int
+	for i := 1; i < len(dirs); i++ {
+		if dirs[i] != dirs[i-1] {
+			steps = append(steps, i+1)
+		}
+	}
+	return steps
+}
+
+// rawTrace mirrors the JSON object format's envelope.
+type rawTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// rawEvent holds the fields ValidateTrace checks. Pointers distinguish
+// "absent" from zero.
+type rawEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	TS    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	Pid   *int           `json:"pid"`
+	Tid   *int           `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+// ValidateTrace parses data as Chrome trace-event JSON and checks the
+// structural invariants TraceWriter promises (and chrome://tracing /
+// Perfetto require):
+//
+//   - the document is a JSON object with a traceEvents array;
+//   - every event has a name, a known phase (X/i/M), and integer
+//     pid/tid; X and i events have a finite ts >= 0, X events a dur;
+//   - level and sim_step slices carry step/dir args, and within one
+//     tid their steps increase by exactly 1 from 1 (sim timelines) or
+//     from their first step (traversal lanes) — the property that
+//     makes per-level switch reconstruction sound;
+//   - directions are "TD" or "BU".
+//
+// On success it returns the summary; the first violation returns an
+// error naming the offending event index.
+func ValidateTrace(data []byte) (*TraceSummary, error) {
+	var doc rawTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return nil, fmt.Errorf("trace has no traceEvents array")
+	}
+	s := &TraceSummary{
+		Events:    len(doc.TraceEvents),
+		Processes: make(map[int]string),
+		Threads:   make(map[string]string),
+		LevelDirs: make(map[int][]string),
+		SimDirs:   make(map[int][]string),
+	}
+	type laneKey struct {
+		sim bool
+		tid int
+	}
+	lastStep := make(map[laneKey]int)
+	for i, raw := range doc.TraceEvents {
+		var ev rawEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("event %d: not an object: %w", i, err)
+		}
+		if ev.Name == "" {
+			return nil, fmt.Errorf("event %d: missing name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return nil, fmt.Errorf("event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			s.Metadata++
+			name, _ := ev.Args["name"].(string)
+			switch ev.Name {
+			case "process_name":
+				if name == "" {
+					return nil, fmt.Errorf("event %d: process_name without args.name", i)
+				}
+				s.Processes[*ev.Pid] = name
+			case "thread_name":
+				if name == "" {
+					return nil, fmt.Errorf("event %d: thread_name without args.name", i)
+				}
+				s.Threads[fmt.Sprintf("%d/%d", *ev.Pid, *ev.Tid)] = name
+			}
+			continue
+		case "X", "i":
+			if ev.TS == nil || *ev.TS < 0 {
+				return nil, fmt.Errorf("event %d (%s): missing or negative ts", i, ev.Name)
+			}
+		default:
+			return nil, fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ph == "i" {
+			s.Instants++
+			switch ev.Cat {
+			case "switch":
+				s.Switches++
+			case "fault":
+				s.Faults++
+			}
+			continue
+		}
+		// ph == "X".
+		s.Slices++
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return nil, fmt.Errorf("event %d (%s): X event missing or negative dur", i, ev.Name)
+		}
+		switch ev.Cat {
+		case "level", "sim":
+			step, ok := argInt(ev.Args, "step")
+			if !ok || step < 1 {
+				return nil, fmt.Errorf("event %d (%s): %s slice without positive args.step", i, ev.Name, ev.Cat)
+			}
+			dir, _ := ev.Args["dir"].(string)
+			if dir != "TD" && dir != "BU" {
+				return nil, fmt.Errorf("event %d (%s): dir %q is neither TD nor BU", i, ev.Name, dir)
+			}
+			key := laneKey{sim: ev.Cat == "sim", tid: *ev.Tid}
+			if prev, seen := lastStep[key]; seen && step != prev+1 {
+				return nil, fmt.Errorf("event %d (%s): tid %d step %d follows step %d (want %d)",
+					i, ev.Name, *ev.Tid, step, prev, prev+1)
+			}
+			lastStep[key] = step
+			if ev.Cat == "level" {
+				s.Levels++
+				s.LevelDirs[*ev.Tid] = append(s.LevelDirs[*ev.Tid], dir)
+			} else {
+				s.SimSteps++
+				s.SimDirs[*ev.Tid] = append(s.SimDirs[*ev.Tid], dir)
+			}
+		case "handoff":
+			s.Handoffs++
+			if _, ok := argInt(ev.Args, "bytes"); !ok {
+				return nil, fmt.Errorf("event %d (%s): handoff slice without args.bytes", i, ev.Name)
+			}
+		}
+	}
+	return s, nil
+}
+
+// argInt fetches an integral numeric arg (JSON numbers decode as
+// float64 through map[string]any).
+func argInt(args map[string]any, key string) (int, bool) {
+	v, ok := args[key].(float64)
+	if !ok || v != float64(int(v)) {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// TimelineIDs returns the tids present in m in ascending order —
+// convenient for deterministic iteration over LevelDirs/SimDirs.
+func TimelineIDs(m map[int][]string) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceWriter is a Recorder that renders the event stream as Chrome
+// trace-event JSON (the catapult "JSON object format"), loadable in
+// chrome://tracing and https://ui.perfetto.dev. A whole
+// cross-architecture run — CPU top-down levels, the GPU bottom-up
+// middle, the GPU top-down tail, the PCIe handoffs between them —
+// becomes a timeline with one track group (pid) per device.
+//
+// Track model (see OBSERVABILITY.md for the full schema):
+//
+//   - pid 1 "host": real traversals. One thread (tid) per traversal;
+//     each expansion step is a complete ("X") slice whose args carry
+//     the per-level work counts, with instants for direction switches
+//     and traversal start/end. Timestamps are wall-clock microseconds
+//     since the first recorded event.
+//   - pid 2 "interconnect": simulated device-to-device handoffs as
+//     slices on the modeled link, args carrying the payload bytes.
+//   - pid 3+: one per modeled device (lazily registered under its
+//     archsim label). Simulated plan timelines place each priced step
+//     on its device's track, sharing one tid per plan run, on the
+//     simulated clock (modeled seconds rendered as microseconds).
+//
+// Events are encoded under one mutex as they arrive, so a TraceWriter
+// shared by concurrent RunMany roots never produces interleaved or
+// torn JSON; the file is buffered in memory and written on Close.
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	buf    bytes.Buffer
+	closed bool
+
+	// Wall epoch: latched from the first wall-clocked event so the
+	// timeline starts at ts 0 regardless of when the process began.
+	epoch     time.Time
+	haveEpoch bool
+
+	pids     map[string]int // lane name -> pid
+	tids     map[uint64]int // TraversalID -> tid
+	nextPid  int
+	nextTid  int
+	planName map[uint64]string // TraversalID -> plan name (simulated)
+	named    map[[2]int]bool   // (pid,tid) pairs with thread_name emitted
+}
+
+// Reserved lane pids.
+const (
+	hostPid = 1
+	linkPid = 2
+)
+
+// NewTraceWriter returns a TraceWriter that will emit the trace file
+// to w when Close is called.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{
+		w:        w,
+		pids:     map[string]int{"host": hostPid, "interconnect": linkPid},
+		tids:     make(map[uint64]int),
+		nextPid:  linkPid + 1,
+		nextTid:  1,
+		planName: make(map[uint64]string),
+		named:    make(map[[2]int]bool),
+	}
+}
+
+// traceEvent is one element of the trace file's traceEvents array.
+// Field order is fixed (and args maps marshal with sorted keys), so a
+// given event sequence always serializes identically — the property
+// the golden-file test pins.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Event implements Recorder.
+func (t *TraceWriter) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	switch e.Kind {
+	case KindTraversalStart:
+		tid := t.tid(e.TraversalID)
+		label := e.Engine
+		if label == "" {
+			label = "bfs"
+		}
+		t.threadName(hostPid, tid, fmt.Sprintf("root %d (%s)", e.Root, label))
+		t.emit(traceEvent{
+			Name: "traversal start", Cat: "traversal", Ph: "i", Scope: "t",
+			TS: t.wallTS(e.Wall), Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"root": e.Root, "engine": label,
+				"vertices": e.FrontierVertices, "edges": e.FrontierEdges,
+				"reusedWorkspace": e.Reused,
+			},
+		})
+	case KindLevel:
+		dur := float64(e.WallDur) / float64(time.Microsecond)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d %s", e.Step, e.Dir), Cat: "level", Ph: "X",
+			TS: t.wallTS(e.Wall), Dur: &dur, Pid: hostPid, Tid: t.tid(e.TraversalID),
+			Args: map[string]any{
+				"step": e.Step, "dir": e.Dir.String(),
+				"frontierVertices": e.FrontierVertices, "frontierEdges": e.FrontierEdges,
+				"discovered": e.Discovered, "unvisited": e.Unvisited,
+				"scans": e.Scans, "grains": e.Grains, "workers": e.Workers,
+			},
+		})
+	case KindSwitch:
+		t.emit(traceEvent{
+			Name: "switch to " + e.Dir.String(), Cat: "switch", Ph: "i", Scope: "t",
+			TS: t.wallTS(e.Wall), Pid: hostPid, Tid: t.tid(e.TraversalID),
+			Args: map[string]any{"step": e.Step, "dir": e.Dir.String()},
+		})
+	case KindTraversalEnd:
+		args := map[string]any{
+			"reachable": e.Discovered, "traversedEdges": e.Scans,
+			"wallSeconds": e.WallDur.Seconds(),
+		}
+		if e.Detail != "" {
+			args["error"] = e.Detail
+		}
+		t.emit(traceEvent{
+			Name: "traversal end", Cat: "traversal", Ph: "i", Scope: "t",
+			TS: t.wallTS(e.Wall), Pid: hostPid, Tid: t.tid(e.TraversalID),
+			Args: args,
+		})
+	case KindRootDispatch, KindRootDone:
+		name := "dispatch"
+		args := map[string]any{"index": e.Index, "root": e.Root}
+		if e.Kind == KindRootDone {
+			name = "done"
+			args["wallSeconds"] = e.WallDur.Seconds()
+			if e.Detail != "" {
+				args["error"] = e.Detail
+			}
+		}
+		tid := int(e.Workers) + 1 // dispatch lane per RunMany worker
+		t.threadName(hostPid, -tid, fmt.Sprintf("dispatch worker %d", e.Workers))
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("%s root %d", name, e.Root), Cat: "dispatch",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: -tid,
+			Args: args,
+		})
+	case KindPlanStart:
+		t.planName[e.TraversalID] = e.Engine
+		t.tid(e.TraversalID)
+	case KindSimStep:
+		dur := e.SimDur * 1e6
+		pid, tid := t.pid(e.Device), t.tid(e.TraversalID)
+		t.threadName(pid, tid, t.planLabel(e.TraversalID))
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d %s", e.Step, e.Dir), Cat: "sim", Ph: "X",
+			TS: e.SimStart * 1e6, Dur: &dur, Pid: pid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "dir": e.Dir.String(),
+				"device": e.Device, "plan": t.planLabel(e.TraversalID),
+				"kernelSeconds": e.SimDur,
+			},
+		})
+	case KindHandoff:
+		dur := e.SimDur * 1e6
+		tid := t.tid(e.TraversalID)
+		t.threadName(linkPid, tid, t.planLabel(e.TraversalID))
+		t.emit(traceEvent{
+			Name: e.From + " to " + e.Device, Cat: "handoff", Ph: "X",
+			TS: e.SimStart * 1e6, Dur: &dur, Pid: linkPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "from": e.From, "to": e.Device,
+				"bytes": e.Bytes, "plan": t.planLabel(e.TraversalID),
+				"linkSeconds": e.SimDur,
+			},
+		})
+	case KindPlanEnd:
+		pid, tid := linkPid, t.tid(e.TraversalID)
+		t.emit(traceEvent{
+			Name: "plan end", Cat: "sim", Ph: "i", Scope: "t",
+			TS: e.SimStart * 1e6, Pid: pid, Tid: tid,
+			Args: map[string]any{
+				"plan": t.planLabel(e.TraversalID), "totalSeconds": e.SimDur,
+			},
+		})
+	case KindRetry, KindReplan, KindFault:
+		pid, tid := t.pid(e.Device), t.tid(e.TraversalID)
+		t.threadName(pid, tid, t.planLabel(e.TraversalID))
+		t.emit(traceEvent{
+			Name: e.Kind.String(), Cat: "fault", Ph: "i", Scope: "g",
+			TS: e.SimStart * 1e6, Pid: pid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "device": e.Device, "detail": e.Detail,
+				"plan": t.planLabel(e.TraversalID),
+			},
+		})
+	}
+}
+
+// planLabel names a simulated timeline for display.
+func (t *TraceWriter) planLabel(id uint64) string {
+	if name := t.planName[id]; name != "" {
+		return name
+	}
+	return "plan"
+}
+
+// wallTS converts a wall instant to trace microseconds, latching the
+// epoch on first use. Zero instants (events from emitters that had no
+// clock in hand) map to the epoch.
+func (t *TraceWriter) wallTS(w time.Time) float64 {
+	if w.IsZero() {
+		return 0
+	}
+	if !t.haveEpoch {
+		t.epoch, t.haveEpoch = w, true
+	}
+	return float64(w.Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+// pid returns the lane for a device name, registering it (plus its
+// process_name metadata) on first use.
+func (t *TraceWriter) pid(device string) int {
+	if device == "" {
+		device = "host"
+	}
+	if p, ok := t.pids[device]; ok {
+		return p
+	}
+	p := t.nextPid
+	t.nextPid++
+	t.pids[device] = p
+	t.emit(traceEvent{
+		Name: "process_name", Ph: "M", Pid: p, Tid: 0,
+		Args: map[string]any{"name": device},
+	})
+	t.emit(traceEvent{
+		Name: "process_sort_index", Ph: "M", Pid: p, Tid: 0,
+		Args: map[string]any{"sort_index": p},
+	})
+	return p
+}
+
+// tid returns the thread lane for a traversal/timeline ID.
+func (t *TraceWriter) tid(id uint64) int {
+	if tid, ok := t.tids[id]; ok {
+		return tid
+	}
+	tid := t.nextTid
+	t.nextTid++
+	t.tids[id] = tid
+	return tid
+}
+
+// threadName emits thread_name metadata once per (pid, tid) pair.
+func (t *TraceWriter) threadName(pid, tid int, name string) {
+	key := [2]int{pid, tid}
+	if t.named[key] {
+		return
+	}
+	t.named[key] = true
+	t.emit(traceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// emit appends one encoded event to the buffer. Callers hold t.mu.
+func (t *TraceWriter) emit(ev traceEvent) {
+	// Well-known process names are registered eagerly so every file
+	// has them exactly once, before any event that uses the lanes.
+	if t.buf.Len() == 0 {
+		t.buf.WriteString(`{"traceEvents":[`)
+		for _, meta := range []traceEvent{
+			{Name: "process_name", Ph: "M", Pid: hostPid, Args: map[string]any{"name": "host"}},
+			{Name: "process_sort_index", Ph: "M", Pid: hostPid, Args: map[string]any{"sort_index": hostPid}},
+			{Name: "process_name", Ph: "M", Pid: linkPid, Args: map[string]any{"name": "interconnect"}},
+			{Name: "process_sort_index", Ph: "M", Pid: linkPid, Args: map[string]any{"sort_index": linkPid}},
+		} {
+			t.writeEvent(meta)
+			t.buf.WriteString(",\n")
+		}
+		t.writeEvent(ev)
+		return
+	}
+	t.buf.WriteString(",\n")
+	t.writeEvent(ev)
+}
+
+func (t *TraceWriter) writeEvent(ev traceEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		// traceEvent contains only marshalable fields; a failure here
+		// is a programming error worth surfacing loudly in tests, but
+		// must not kill a traced production run.
+		b = []byte(fmt.Sprintf(`{"name":"encode error","ph":"i","ts":0,"pid":1,"tid":0,"s":"g","args":{"error":%q}}`, err))
+	}
+	t.buf.Write(b)
+}
+
+// Close finalizes the JSON document and writes it to the underlying
+// writer. Events arriving after Close are dropped. Close is
+// idempotent; only the first call writes.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.buf.Len() == 0 {
+		t.buf.WriteString(`{"traceEvents":[`)
+	}
+	t.buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := t.w.Write(t.buf.Bytes())
+	return err
+}
