@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race trace-smoke verify fuzz fuzz-faults
+.PHONY: all build test lint race trace-smoke bench-report verify fuzz fuzz-faults
 
 all: verify
 
@@ -36,6 +36,16 @@ TRACEOUT ?= /tmp/crossbfs-trace-smoke.json
 trace-smoke:
 	$(GO) run ./cmd/bfsrun -scale 14 -edgefactor 8 -plan cputd+gpucb -levels=false -trace $(TRACEOUT)
 	$(GO) run ./cmd/tracecheck $(TRACEOUT)
+
+# bench-report runs the benchmark suite and snapshots the numbers to
+# the next BENCH_<n>.json at the repo root, failing when any benchmark
+# regressed more than BENCHTHRESHOLD vs the previous snapshot. It is
+# deliberately NOT part of `verify` — benchmarks need a quiet machine
+# and minutes of wall time; CI runs it as its own job.
+BENCHTIME ?= 1x
+BENCHTHRESHOLD ?= 0.35
+bench-report:
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -threshold $(BENCHTHRESHOLD)
 
 verify: build lint test race trace-smoke
 

@@ -255,6 +255,19 @@ type (
 	Metrics = obs.Metrics
 	// TraceWriter encodes events as Chrome trace-event JSON.
 	TraceWriter = obs.TraceWriter
+	// StreamWriter is the serving-grade trace sink: same byte format as
+	// TraceWriter, but encoded incrementally through a bounded buffer
+	// that drops events under backpressure instead of growing.
+	StreamWriter = obs.StreamWriter
+	// StreamStats reports a StreamWriter's drop and high-water counters.
+	StreamStats = obs.StreamStats
+	// Sampler keeps 1-in-K traversals, whole, by TraversalID.
+	Sampler = obs.Sampler
+	// FlightRecorder retains the last N complete traversals in memory
+	// for post-hoc dumps (obs.Ring).
+	FlightRecorder = obs.Ring
+	// FlightRecorderStats reports a FlightRecorder's retention counters.
+	FlightRecorderStats = obs.RingStats
 	// TraceSummary is the structural digest ValidateTrace returns.
 	TraceSummary = obs.TraceSummary
 )
@@ -271,6 +284,34 @@ func NewMetrics() *Metrics { return obs.NewMetrics() }
 // JSON to w. Close flushes the file; the output is loadable in
 // chrome://tracing and https://ui.perfetto.dev.
 func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewTraceWriter(w) }
+
+// NewStreamWriter returns the streaming trace sink over w with the
+// default buffer budget; NewStreamWriterSize sets it explicitly. The
+// output is byte-compatible with NewTraceWriter when no events are
+// dropped; drops are counted in Stats and noted in the trace metadata.
+func NewStreamWriter(w io.Writer) *StreamWriter { return obs.NewStreamWriter(w) }
+
+// NewStreamWriterSize is NewStreamWriter with an explicit buffer cap in
+// bytes.
+func NewStreamWriterSize(w io.Writer, bufCap int) *StreamWriter {
+	return obs.NewStreamWriterSize(w, bufCap)
+}
+
+// NewSampler wraps next so only 1-in-k traversals reach it — whole:
+// the keep/drop decision is a pure seeded hash of the TraversalID, so
+// every event of a kept traversal (including resilient-ladder retries
+// under the same ID) lands in the sample, and none of a dropped one.
+func NewSampler(next Recorder, k int, seed uint64) *Sampler {
+	return obs.NewSampler(next, k, seed)
+}
+
+// NewFlightRecorder returns an in-memory ring retaining the last keep
+// complete traversals (capped at maxEvents events each; 0 selects the
+// defaults). Dump the retained traversals with WriteTrace after a
+// fault or on SIGQUIT.
+func NewFlightRecorder(keep, maxEvents int) *FlightRecorder {
+	return obs.NewRing(keep, maxEvents)
+}
 
 // MultiRecorder fans events out to several recorders in order — e.g.
 // one Metrics and one TraceWriter on the same run.

@@ -1,0 +1,65 @@
+package crossbfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicObservabilitySurface drives the re-exported serving-grade
+// sinks end to end: a BFSMany batch recorded through a Sampler into a
+// StreamWriter and a FlightRecorder, all via the public constructors.
+func TestPublicObservabilitySurface(t *testing.T) {
+	g, err := GenerateRMAT(10, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]int32, 12)
+	for i := range roots {
+		roots[i] = int32(i)
+	}
+
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ring := NewFlightRecorder(4, 0)
+	sampler := NewSampler(MultiRecorder(sw, ring), 2, 99)
+
+	if _, err := BFSMany(g, roots, ManyOptions{Recorder: sampler, Concurrency: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if sampler.Seen() != uint64(len(roots)) {
+		t.Errorf("sampler saw %d traversals, want %d", sampler.Seen(), len(roots))
+	}
+	kept := sampler.Kept()
+	if kept == 0 || kept == uint64(len(roots)) {
+		t.Fatalf("sampler kept %d of %d at k=2 — degenerate; pick another seed", kept, len(roots))
+	}
+
+	if sw.Stats().Dropped == 0 {
+		s, err := ValidateTrace(buf.Bytes())
+		if err != nil {
+			t.Fatalf("streamed trace invalid: %v", err)
+		}
+		if len(s.LevelDirs) != int(kept) {
+			t.Errorf("stream has %d traversal lanes, sampler kept %d", len(s.LevelDirs), kept)
+		}
+	}
+
+	want := kept
+	if want > 4 {
+		want = 4
+	}
+	if st := ring.Stats(); st.Retained != int(want) {
+		t.Errorf("flight recorder stats %+v, want %d retained", st, want)
+	}
+	var dump bytes.Buffer
+	if err := ring.WriteTrace(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(dump.Bytes()); err != nil {
+		t.Fatalf("flight-recorder dump invalid: %v", err)
+	}
+}

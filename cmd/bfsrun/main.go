@@ -9,7 +9,8 @@
 //	bfsrun -graph g.csr -plan gpucb -m2 32 -n2 32
 //	bfsrun -scale 17 -plan cputd+gpucb -faults 'crash:KeplerK20x@4' -timeout 30s
 //	bfsrun -scale 16 -plan cputd+gpucb -trace out.json   # open in ui.perfetto.dev
-//	bfsrun -scale 20 -plan all -pprof localhost:6060 -cpuprofile cpu.pb.gz
+//	bfsrun -scale 20 -plan all -trace-stream out.json -sample 8 -flightrec flight.json
+//	bfsrun -scale 20 -plan all -pprof localhost:6060 -cpuprofile cpu.pb.gz -metrics-out m.json
 package main
 
 import (
@@ -20,9 +21,11 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -61,6 +64,18 @@ type config struct {
 	// timelines from every priced plan) to a Chrome trace-event JSON
 	// file for chrome://tracing or Perfetto.
 	tracePath string
+	// traceStream writes the same trace through obs.StreamWriter:
+	// incremental encoding with a bounded buffer, dropping events under
+	// backpressure instead of growing — the serving-grade sink.
+	traceStream string
+	// sampleK keeps 1-in-K traversals (whole) in the trace sinks; 0 or 1
+	// keeps everything. Metrics stay unsampled — counters are always-on.
+	sampleK int
+	// flightRec retains the last few traversals in an in-memory ring and
+	// dumps them to this file at exit and on SIGQUIT.
+	flightRec string
+	// metricsOut writes the final counters as JSON to this file.
+	metricsOut string
 	// metrics prints the aggregated telemetry counters after the run.
 	metrics bool
 	// pprofAddr starts an HTTP server with /debug/pprof, /debug/vars,
@@ -88,6 +103,10 @@ func main() {
 	flag.StringVar(&cfg.faults, "faults", "", "fault schedule, e.g. 'crash:KeplerK20x@4;transient:0.1'")
 	flag.Uint64Var(&cfg.faultSeed, "faultseed", 1, "seed for transient-fault draws")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace-event JSON to this file (view in Perfetto)")
+	flag.StringVar(&cfg.traceStream, "trace-stream", "", "write the trace through the bounded streaming sink (drops under backpressure)")
+	flag.IntVar(&cfg.sampleK, "sample", 0, "keep 1-in-K traversals (whole) in trace sinks; 0 keeps all")
+	flag.StringVar(&cfg.flightRec, "flightrec", "", "retain the last traversals in memory; dump to this file at exit and on SIGQUIT")
+	flag.StringVar(&cfg.metricsOut, "metrics-out", "", "write final telemetry counters as JSON to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print aggregated telemetry counters after the run")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address during the run")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
@@ -209,20 +228,45 @@ func run(ctx context.Context, cfg config) error {
 			return err
 		}
 	}
+	if cfg.metricsOut != "" {
+		f, err := os.Create(cfg.metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := tel.metrics.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+	}
 	if cfg.tracePath != "" {
 		fmt.Printf("trace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", cfg.tracePath)
+	}
+	if cfg.traceStream != "" {
+		fmt.Printf("streamed trace written to %s\n", cfg.traceStream)
+	}
+	if cfg.flightRec != "" {
+		fmt.Printf("flight recorder dump written to %s (also on SIGQUIT)\n", cfg.flightRec)
 	}
 	return nil
 }
 
-// telemetry bundles the run's optional observers (trace file, metrics,
-// profiling server, CPU profile) behind one Recorder and one teardown.
+// telemetry bundles the run's optional observers (trace file, streaming
+// sink, sampler, flight recorder, metrics, profiling server, CPU
+// profile) behind one Recorder and one teardown.
 type telemetry struct {
-	rec     obs.Recorder
-	metrics *obs.Metrics
-	tw      *obs.TraceWriter
-	traceF  *os.File
-	profF   *os.File
+	rec       obs.Recorder
+	metrics   *obs.Metrics
+	tw        *obs.TraceWriter
+	traceF    *os.File
+	stream    *obs.StreamWriter
+	streamF   *os.File
+	ring      *obs.Ring
+	flightRec string
+	sigC      chan os.Signal
+	profF     *os.File
 }
 
 // serveOnce guards the process-global side effects of -pprof (expvar
@@ -232,7 +276,9 @@ var serveOnce sync.Once
 
 func startTelemetry(cfg config) (*telemetry, error) {
 	tel := &telemetry{rec: obs.Nop}
-	var recs []obs.Recorder
+	// Trace sinks are grouped so -sample gates them as one unit: a kept
+	// traversal lands whole in EVERY sink, a dropped one in none.
+	var traceRecs []obs.Recorder
 	if cfg.tracePath != "" {
 		f, err := os.Create(cfg.tracePath)
 		if err != nil {
@@ -240,9 +286,46 @@ func startTelemetry(cfg config) (*telemetry, error) {
 		}
 		tel.traceF = f
 		tel.tw = obs.NewTraceWriter(f)
-		recs = append(recs, tel.tw)
+		traceRecs = append(traceRecs, tel.tw)
 	}
-	if cfg.metrics || cfg.pprofAddr != "" {
+	if cfg.traceStream != "" {
+		f, err := os.Create(cfg.traceStream)
+		if err != nil {
+			tel.close()
+			return nil, err
+		}
+		tel.streamF = f
+		tel.stream = obs.NewStreamWriter(f)
+		traceRecs = append(traceRecs, tel.stream)
+	}
+	if cfg.flightRec != "" {
+		tel.ring = obs.NewRing(obs.DefaultRingKeep, obs.DefaultRingMaxEvents)
+		tel.flightRec = cfg.flightRec
+		traceRecs = append(traceRecs, tel.ring)
+		// SIGQUIT dumps the ring post hoc without killing the run — the
+		// flight-recorder contract for a wedged or misbehaving process.
+		tel.sigC = make(chan os.Signal, 1)
+		signal.Notify(tel.sigC, syscall.SIGQUIT)
+		go func(ring *obs.Ring, path string, c chan os.Signal) {
+			for range c {
+				if err := dumpRing(ring, path); err != nil {
+					fmt.Fprintln(os.Stderr, "bfsrun: flight-recorder dump:", err)
+				} else {
+					fmt.Fprintln(os.Stderr, "bfsrun: flight recorder dumped to", path)
+				}
+			}
+		}(tel.ring, tel.flightRec, tel.sigC)
+	}
+	var recs []obs.Recorder
+	if len(traceRecs) > 0 {
+		traced := obs.Multi(traceRecs...)
+		if cfg.sampleK > 1 {
+			// Seeded from -seed so a run is reproducible end to end.
+			traced = obs.NewSampler(traced, cfg.sampleK, cfg.seed)
+		}
+		recs = append(recs, traced)
+	}
+	if cfg.metrics || cfg.metricsOut != "" || cfg.pprofAddr != "" {
 		tel.metrics = obs.NewMetrics()
 		recs = append(recs, tel.metrics)
 	}
@@ -293,7 +376,45 @@ func (t *telemetry) close() error {
 		}
 		t.tw, t.traceF = nil, nil
 	}
+	if t.stream != nil {
+		stats := t.stream.Stats()
+		if cerr := t.stream.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := t.streamF.Close(); err == nil {
+			err = cerr
+		}
+		if stats.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "bfsrun: streaming sink dropped %d events under backpressure\n", stats.Dropped)
+		}
+		t.stream, t.streamF = nil, nil
+	}
+	if t.sigC != nil {
+		signal.Stop(t.sigC)
+		close(t.sigC)
+		t.sigC = nil
+	}
+	if t.ring != nil {
+		if cerr := dumpRing(t.ring, t.flightRec); err == nil {
+			err = cerr
+		}
+		t.ring = nil
+	}
 	return err
+}
+
+// dumpRing writes the flight recorder's retained traversals to path as
+// a standalone Chrome trace.
+func dumpRing(ring *obs.Ring, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := ring.WriteTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // price runs the clean simulator, or the resilient one when a fault

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -75,6 +76,96 @@ func TestRunTraceExport(t *testing.T) {
 	}
 	if s.Handoffs == 0 {
 		t.Error("cross plan trace has no device handoff")
+	}
+}
+
+// TestRunStreamedTrace drives -trace-stream: the bounded streaming sink
+// must produce a trace just as valid as the buffered TraceWriter's.
+func TestRunStreamedTrace(t *testing.T) {
+	c := cfg(11, "cputd+gpucb")
+	c.traceStream = filepath.Join(t.TempDir(), "stream.json")
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.traceStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("streamed trace invalid: %v", err)
+	}
+	if s.Levels == 0 || s.SimSteps == 0 {
+		t.Errorf("streamed trace missing timelines: %d levels, %d sim steps", s.Levels, s.SimSteps)
+	}
+}
+
+// TestRunSampledTrace drives -sample: every timeline — the reference
+// traversal and the 9 plan timelines all carry engine-stamped
+// TraversalIDs — is kept or dropped whole, and whatever survives is
+// still a valid trace. Which IDs land in the sample depends on the
+// process-wide ID counter, so assert on the aggregate, not on any
+// specific timeline surviving.
+func TestRunSampledTrace(t *testing.T) {
+	c := cfg(10, "all")
+	c.sampleK = 2
+	c.tracePath = filepath.Join(t.TempDir(), "sampled.json")
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("sampled trace invalid: %v", err)
+	}
+	lanes := len(obs.TimelineIDs(s.LevelDirs)) + len(obs.TimelineIDs(s.SimDirs))
+	if lanes == 0 || lanes >= 10 {
+		t.Errorf("sampled trace has %d timelines, want a strict nonzero subset of the 10 recorded", lanes)
+	}
+}
+
+// TestRunFlightRecorder drives -flightrec: the exit-time dump must be a
+// valid standalone trace holding the most recent plan timelines.
+func TestRunFlightRecorder(t *testing.T) {
+	c := cfg(10, "all")
+	c.flightRec = filepath.Join(t.TempDir(), "flight.json")
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.flightRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("flight-recorder dump invalid: %v", err)
+	}
+	if n := len(obs.TimelineIDs(s.SimDirs)); n == 0 || n > obs.DefaultRingKeep {
+		t.Errorf("dump has %d sim timelines, want 1..%d", n, obs.DefaultRingKeep)
+	}
+}
+
+// TestRunMetricsOut drives -metrics-out: a JSON counters file matching
+// the run, with the documented stable shape.
+func TestRunMetricsOut(t *testing.T) {
+	c := cfg(10, "cputd+gpucb")
+	c.metricsOut = filepath.Join(t.TempDir(), "metrics.json")
+	if err := run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(c.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]int64
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("-metrics-out is not a JSON object: %v\n%s", err, data)
+	}
+	if m["traversals_total"] < 1 || m["levels_total"] == 0 || m["sim_steps_total"] == 0 {
+		t.Errorf("counters don't reflect the run: %v", m)
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	crossbfslint [-c analyzer,...] [-v] [packages...]
+//	crossbfslint [-c analyzer,...] [-v] [-debug] [packages...]
 //
 // Packages default to ./... resolved against the current directory.
 // Exit status is 0 when no diagnostics fire, 1 when any do, 2 on
@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"crossbfs/internal/lint"
 )
@@ -34,8 +36,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	checks := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
 	verbose := fs.Bool("v", false, "list analyzers and package count")
+	debug := fs.Bool("debug", false, "print per-analyzer wall time and loader cache stats")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: crossbfslint [-c analyzer,...] [-v] [packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(stderr, "usage: crossbfslint [-c analyzer,...] [-v] [-debug] [packages...]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -64,11 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "crossbfslint: %v\n", err)
 		return 2
 	}
+	loadStart := time.Now()
 	pkgs, err := lint.Load(cwd, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "crossbfslint: %v\n", err)
 		return 2
 	}
+	loadTime := time.Since(loadStart)
 	if *verbose {
 		var an []string
 		for _, a := range analyzers {
@@ -77,10 +82,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "crossbfslint: %d analyzers [%s] over %d packages\n",
 			len(analyzers), strings.Join(an, " "), len(pkgs))
 	}
-	diags, err := lint.Run(pkgs, analyzers)
+	diags, elapsed, err := lint.RunTimed(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "crossbfslint: %v\n", err)
 		return 2
+	}
+	if *debug {
+		hits, misses := lint.GoListCacheStats()
+		fmt.Fprintf(stderr, "crossbfslint: load %v (go list cache: %d hits, %d misses)\n",
+			loadTime.Round(time.Millisecond), hits, misses)
+		names := make([]string, 0, len(elapsed))
+		for name := range elapsed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stderr, "crossbfslint: %-12s %v\n", name, elapsed[name].Round(time.Microsecond))
+		}
 	}
 	for _, d := range diags {
 		fmt.Fprintf(stdout, "%s: %s: %s\n", d.Position(pkgs[0].Fset), d.Analyzer, d.Message)

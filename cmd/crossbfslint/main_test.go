@@ -39,3 +39,28 @@ func TestCleanPackages(t *testing.T) {
 		t.Errorf("expected no diagnostics, got:\n%s", out.String())
 	}
 }
+
+// TestDebugTiming exercises -debug: per-analyzer wall times and loader
+// cache stats land on stderr, and the second identical run hits the
+// process-wide go list cache.
+func TestDebugTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-debug", "crossbfs/internal/bitmap"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errBuf.String())
+	}
+	for _, want := range []string{"go list cache", "atomicpair", "sharedwrite"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("-debug stderr missing %q:\n%s", want, errBuf.String())
+		}
+	}
+	errBuf.Reset()
+	if code := run([]string{"-debug", "crossbfs/internal/bitmap"}, &out, &errBuf); code != 0 {
+		t.Fatalf("second run exit = %d\nstderr:\n%s", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), " hits") || strings.Contains(errBuf.String(), " 0 hits") {
+		t.Errorf("second identical run did not hit the go list cache:\n%s", errBuf.String())
+	}
+}

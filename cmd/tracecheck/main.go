@@ -9,11 +9,17 @@
 //
 //	bfsrun -scale 16 -plan cputd+gpucb -trace out.json
 //	tracecheck out.json
+//	tracecheck -summary-json out.json | jq .Levels
+//
+// Exit codes: 0 the trace is valid, 1 the trace is malformed or
+// unreadable, 2 usage error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,19 +27,29 @@ import (
 )
 
 func main() {
-	quiet := flag.Bool("q", false, "suppress the summary; only validate")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-q] trace.json")
-		os.Exit(2)
-	}
-	if err := run(flag.Arg(0), *quiet, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "tracecheck:", err)
-		os.Exit(1)
-	}
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(path string, quiet bool, w *os.File) error {
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "suppress the summary; only validate")
+	summaryJSON := fs.Bool("summary-json", false, "print the parsed summary as a JSON object")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracecheck [-q] [-summary-json] trace.json")
+		return 2
+	}
+	if err := run(fs.Arg(0), *quiet, *summaryJSON, stdout); err != nil {
+		fmt.Fprintln(stderr, "tracecheck:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(path string, quiet, summaryJSON bool, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -41,6 +57,11 @@ func run(path string, quiet bool, w *os.File) error {
 	s, err := obs.ValidateTrace(data)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
+	}
+	if summaryJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
 	}
 	if quiet {
 		return nil
@@ -54,7 +75,7 @@ func run(path string, quiet bool, w *os.File) error {
 	return nil
 }
 
-func printTimelines(w *os.File, kind string, dirs map[int][]string) {
+func printTimelines(w io.Writer, kind string, dirs map[int][]string) {
 	for _, tid := range obs.TimelineIDs(dirs) {
 		seq := dirs[tid]
 		line := fmt.Sprintf("%s %d: %s", kind, tid, strings.Join(seq, " "))

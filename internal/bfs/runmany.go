@@ -24,9 +24,13 @@ type ManyOptions struct {
 	// Recorder receives the batch's telemetry: a root_dispatch /
 	// root_done pair per claimed root from the dispatcher, plus every
 	// traversal-level event from the engine (via Engine.RunObserved).
-	// One recorder instance is shared by all in-flight roots, so it
-	// must be safe for concurrent use — obs.Metrics and obs.TraceWriter
-	// both are. nil disables telemetry.
+	// The dispatcher assigns one TraversalID per root and stamps it on
+	// the bracket and the traversal's events alike, so samplers and
+	// flight recorders (obs.Sampler, obs.Ring) see each root as one
+	// unit. One recorder instance is shared by all in-flight roots, so
+	// it must be safe for concurrent use — obs.Metrics, obs.TraceWriter,
+	// obs.StreamWriter, obs.Sampler, and obs.Ring all are. nil disables
+	// telemetry.
 	Recorder obs.Recorder
 }
 
@@ -165,22 +169,34 @@ func RunManyFuncContext(ctx context.Context, g *graph.CSR, roots []int32, opts M
 // claim starts, root_done when the result has been delivered (Detail
 // set if the traversal or the callback failed). The engine's own
 // traversal events land between the pair on the same recorder.
+//
+// The dispatcher owns the root's TraversalID: it draws one per claim,
+// stamps it on the dispatch bracket, and rebinds the engine's events
+// to it via obs.WithTraversalID. Every event of one logical root —
+// bracket and traversal alike — therefore shares one ID, which is what
+// lets obs.Sampler keep or drop the root whole and obs.Ring group it
+// as one flight-recorder entry. The Nop path draws no ID and wraps
+// nothing, preserving the 0 allocs/op gate.
 func runManyOne(ctx context.Context, g *graph.CSR, opts ManyOptions, ws *Workspace, rec obs.Recorder, live bool, worker, i int, root int32, fn func(i int, root int32, r *Result) error) error {
 	var start time.Time
+	runRec := rec
+	var id uint64
 	if live {
+		id = obs.NextTraversalID()
+		runRec = obs.WithTraversalID(id, rec)
 		start = time.Now()
 		rec.Event(obs.Event{
-			Kind: obs.KindRootDispatch, Root: root, Index: int32(i),
+			Kind: obs.KindRootDispatch, TraversalID: id, Root: root, Index: int32(i),
 			Dir: obs.DirNone, Workers: int32(worker), Wall: start,
 		})
 	}
-	r, err := opts.Engine.RunObserved(ctx, g, root, ws, rec)
+	r, err := opts.Engine.RunObserved(ctx, g, root, ws, runRec)
 	if err == nil {
 		err = fn(i, root, r)
 	}
 	if live {
 		e := obs.Event{
-			Kind: obs.KindRootDone, Root: root, Index: int32(i),
+			Kind: obs.KindRootDone, TraversalID: id, Root: root, Index: int32(i),
 			Dir: obs.DirNone, Workers: int32(worker),
 			Wall: time.Now(), WallDur: time.Since(start),
 		}

@@ -52,6 +52,14 @@ type ResilientOptions struct {
 	// ExecuteResilient the real traversal's wall-clock events flow to
 	// the same recorder. nil disables telemetry.
 	Recorder obs.Recorder
+	// TraversalID, when nonzero, is the event-group ID the execution's
+	// telemetry is stamped with instead of drawing a fresh one. Callers
+	// that run a real traversal and then price it (ExecuteResilient, or
+	// a RunMany dispatcher replaying through the ladder) set it so the
+	// traversal's wall-clock events and the ladder's retry/replan
+	// mirror share one ID — the invariant obs.Sampler relies on to keep
+	// or drop the whole run with a single decision.
+	TraversalID uint64
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -127,7 +135,9 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 	live := obs.Live(rec)
 	var id uint64
 	if live {
-		id = obs.NextTraversalID()
+		if id = opts.TraversalID; id == 0 {
+			id = obs.NextTraversalID()
+		}
 		rec.Event(obs.Event{
 			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
 			Engine: plan.Name(), Dir: obs.DirNone,
@@ -363,9 +373,21 @@ func ExecuteResilient(ctx context.Context, g *graph.CSR, source int32, plan Plan
 	policy := bfs.PolicyFunc(func(s bfs.StepInfo) bfs.Direction {
 		return stepper.Place(s).Dir
 	})
+	// One TraversalID spans the whole resilient execution: the real
+	// traversal's wall-clock events and the priced replay's
+	// retry/replan mirror are one logical run, and must land on the
+	// same side of any sampling decision (obs.Sampler) and in the same
+	// flight-recorder group (obs.Ring).
+	runRec := opts.Recorder
+	if obs.Live(opts.Recorder) {
+		if opts.TraversalID == 0 {
+			opts.TraversalID = obs.NextTraversalID()
+		}
+		runRec = obs.WithTraversalID(opts.TraversalID, opts.Recorder)
+	}
 	runOpts := bfs.Options{
 		Policy: policy, Workers: opts.Workers,
-		Recorder: opts.Recorder, Label: plan.Name(),
+		Recorder: runRec, Label: plan.Name(),
 	}
 	res, err := bfs.RunWithContext(ctx, g, source, runOpts, nil)
 	if err != nil {

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"sync"
 	"testing"
 
 	"crossbfs/internal/archsim"
 	"crossbfs/internal/bfs"
 	"crossbfs/internal/fault"
+	"crossbfs/internal/obs"
 )
 
 func defaultCross() CrossPlan {
@@ -244,6 +246,76 @@ func TestDeviceListers(t *testing.T) {
 			if d.Name != c.want[i] {
 				t.Errorf("%s: device[%d] = %s, want %s", c.name, i, d.Name, c.want[i])
 			}
+		}
+	}
+}
+
+// captureRecorder retains every event, synchronized (the traversal's
+// parallel kernels emit from their coordinating goroutine, but the
+// recorder contract requires concurrent safety).
+type captureRecorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *captureRecorder) Event(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// TestExecuteResilientSharedTraversalID pins the sampling invariant:
+// every event of one resilient execution — the real traversal's
+// wall-clock events AND the priced replay's sim/retry/replan mirror —
+// carries one TraversalID, so an obs.Sampler keeps or drops the whole
+// run with a single decision.
+func TestExecuteResilientSharedTraversalID(t *testing.T) {
+	g, src := testGraph(t, 10, 8, 3)
+	cap := &captureRecorder{}
+	sched := mustSchedule(t, "transient:0.4", 7)
+	_, _, timing, err := ExecuteResilient(context.Background(), g, src, defaultCross(), archsim.PCIe(),
+		ResilientOptions{Schedule: sched, Recorder: cap})
+	if err != nil {
+		t.Fatalf("ExecuteResilient: %v", err)
+	}
+	if len(cap.events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	ids := make(map[uint64]int)
+	kinds := make(map[obs.Kind]int)
+	for _, e := range cap.events {
+		ids[e.TraversalID]++
+		kinds[e.Kind]++
+	}
+	if len(ids) != 1 {
+		t.Fatalf("events span %d TraversalIDs (%v), want exactly 1", len(ids), ids)
+	}
+	for id := range ids {
+		if id == 0 {
+			t.Fatal("events carry TraversalID 0 (unattributed)")
+		}
+	}
+	// Both halves of the execution must be present under that one ID.
+	for _, k := range []obs.Kind{obs.KindTraversalStart, obs.KindLevel, obs.KindTraversalEnd,
+		obs.KindPlanStart, obs.KindSimStep, obs.KindPlanEnd} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events recorded", k)
+		}
+	}
+	if timing.Retries > 0 && kinds[obs.KindRetry] == 0 {
+		t.Errorf("timing reports %d retries but no retry events", timing.Retries)
+	}
+
+	// A caller-supplied ID is honored verbatim.
+	cap2 := &captureRecorder{}
+	const wantID = 0xbeef
+	if _, _, _, err := ExecuteResilient(context.Background(), g, src, defaultCross(), archsim.PCIe(),
+		ResilientOptions{Recorder: cap2, TraversalID: wantID}); err != nil {
+		t.Fatalf("ExecuteResilient: %v", err)
+	}
+	for i, e := range cap2.events {
+		if e.TraversalID != wantID {
+			t.Fatalf("event %d (%s) has ID %d, want %#x", i, e.Kind, e.TraversalID, wantID)
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
 )
 
 // Analyzer describes one static check. It mirrors analysis.Analyzer.
@@ -95,7 +96,16 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // diagnostics sorted by file position. Suppression directives
 // (//lint:<name>-ok) are honored per package.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(pkgs, analyzers)
+	return diags, err
+}
+
+// RunTimed is Run plus a per-analyzer wall-time breakdown (summed over
+// packages), keyed by analyzer name — what crossbfslint -debug prints
+// so a slow new check is visible before it lands in `make verify`.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, map[string]time.Duration, error) {
 	var out []Diagnostic
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
@@ -107,8 +117,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo: pkg.TypesInfo,
 				suppress:  sup,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
 			}
 			out = append(out, pass.diagnostics...)
 		}
@@ -119,5 +132,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out, nil
+	return out, elapsed, nil
 }

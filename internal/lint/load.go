@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, type-checked package — the unit an
@@ -42,9 +44,50 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
-// goList runs `go list -export -deps -json` for the patterns inside
-// dir and decodes the JSON stream.
+// goListCache memoizes goList results process-wide. Every analyzer run
+// and every analysistest package pays a `go list -export -deps` on the
+// same module otherwise — by far the slowest part of a lint pass — and
+// the listing is stable within one process lifetime (the lint binary
+// and the test binary both run against a fixed source tree).
+var goListCache = struct {
+	sync.Mutex
+	entries      map[string][]*listedPackage
+	hits, misses int
+}{entries: make(map[string][]*listedPackage)}
+
+// GoListCacheStats reports the loader cache's hit/miss counts, for
+// tests and -debug output.
+func GoListCacheStats() (hits, misses int) {
+	goListCache.Lock()
+	defer goListCache.Unlock()
+	return goListCache.hits, goListCache.misses
+}
+
+// goList returns `go list -export -deps -json` output for the patterns
+// inside dir, memoized process-wide. Callers must treat the result as
+// read-only — it is shared across calls.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	goListCache.Lock()
+	if pkgs, ok := goListCache.entries[key]; ok {
+		goListCache.hits++
+		goListCache.Unlock()
+		return pkgs, nil
+	}
+	goListCache.misses++
+	goListCache.Unlock()
+	pkgs, err := runGoList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	goListCache.Lock()
+	goListCache.entries[key] = pkgs
+	goListCache.Unlock()
+	return pkgs, nil
+}
+
+// runGoList shells out to the go tool and decodes the JSON stream.
+func runGoList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := []string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,DepOnly,Error"}
 	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// modRoot walks up from the working directory to the go.mod root, so
+// the loader tests run from any package directory.
+func modRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestGoListCacheMemoizes pins the loader-cache contract: the second
+// Load of the same (dir, patterns) never re-runs `go list`, which is
+// what keeps a multi-analyzer or multi-test lint pass from paying the
+// build system once per caller.
+func TestGoListCacheMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	root := modRoot(t)
+	h0, m0 := GoListCacheStats()
+	if _, err := Load(root, "crossbfs/internal/bitmap"); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := GoListCacheStats()
+	if m1 != m0+1 || h1 != h0 {
+		t.Fatalf("first load: hits %d->%d misses %d->%d, want one new miss", h0, h1, m0, m1)
+	}
+	start := time.Now()
+	if _, err := Load(root, "crossbfs/internal/bitmap"); err != nil {
+		t.Fatal(err)
+	}
+	cached := time.Since(start)
+	h2, m2 := GoListCacheStats()
+	if h2 != h1+1 || m2 != m1 {
+		t.Fatalf("second load: hits %d->%d misses %d->%d, want one new hit", h1, h2, m1, m2)
+	}
+	// Different patterns must not false-hit.
+	if _, err := Load(root, "crossbfs/internal/bitmap", "crossbfs/internal/obs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, m3 := GoListCacheStats(); m3 != m2+1 {
+		t.Fatalf("distinct pattern set did not miss (misses %d -> %d)", m2, m3)
+	}
+	t.Logf("cached Load took %v", cached)
+}
+
+// TestRunTimedReportsEveryAnalyzer checks the -debug data source: one
+// duration entry per analyzer, covering the same diagnostics as Run.
+func TestRunTimedReportsEveryAnalyzer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	pkgs, err := Load(modRoot(t), "crossbfs/internal/bitmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, elapsed, err := RunTimed(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("bitmap should be clean, got %d diagnostics", len(diags))
+	}
+	if len(elapsed) != len(All()) {
+		t.Fatalf("timed %d analyzers, want %d: %v", len(elapsed), len(All()), elapsed)
+	}
+	for _, a := range All() {
+		if d, ok := elapsed[a.Name]; !ok || d < 0 {
+			t.Errorf("analyzer %s: elapsed %v, ok=%v", a.Name, d, ok)
+		}
+	}
+}

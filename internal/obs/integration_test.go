@@ -136,3 +136,188 @@ func strKey(ss []string) string {
 	}
 	return out
 }
+
+// TestRunManySampledTrace is the sampling acceptance criterion: with an
+// obs.Sampler between RunMany and the TraceWriter, every kept traversal
+// appears in the trace WHOLE — valid per ValidateTrace, with a
+// direction sequence identical to some Result.Directions — and dropped
+// traversals leave no events at all.
+func TestRunManySampledTrace(t *testing.T) {
+	p := rmat.DefaultParams(10, 8)
+	p.Seed = 43
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roots := make([]int32, 32)
+	for i := range roots {
+		roots[i] = int32(i)
+	}
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	cap := &dirCapture{dirs: make(map[uint64][]obs.Direction), next: tw}
+	sampler := obs.NewSampler(cap, 3, 2024)
+
+	results, err := bfs.RunMany(g, roots, bfs.ManyOptions{
+		Engine:      bfs.HybridEngine(bfs.DefaultM, bfs.DefaultN, 2),
+		Concurrency: 4,
+		Recorder:    sampler,
+	})
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if sampler.Seen() != uint64(len(roots)) {
+		t.Fatalf("sampler saw %d traversal starts, want %d", sampler.Seen(), len(roots))
+	}
+	kept := int(sampler.Kept())
+	if kept == 0 || kept == len(roots) {
+		t.Fatalf("sampler kept %d of %d at k=3 — degenerate; pick another seed", kept, len(roots))
+	}
+
+	s, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("sampled trace is malformed: %v", err)
+	}
+	if len(s.LevelDirs) != kept {
+		t.Fatalf("trace has %d traversal lanes, sampler kept %d", len(s.LevelDirs), kept)
+	}
+
+	// Each kept lane must be a COMPLETE traversal: its direction
+	// sequence matches some result's Directions exactly (ValidateTrace
+	// already enforced step contiguity, so a partially-kept traversal
+	// could not have sneaked through unless it lost a suffix — the
+	// sequence-length match closes that hole too).
+	wantSeqs := make(map[string]int)
+	for _, r := range results {
+		wantSeqs[strKey(dirStrings(r.Directions))]++
+	}
+	for _, tid := range obs.TimelineIDs(s.LevelDirs) {
+		k := strKey(s.LevelDirs[tid])
+		if wantSeqs[k] == 0 {
+			t.Errorf("trace lane %d direction sequence %q matches no result", tid, k)
+			continue
+		}
+		wantSeqs[k]--
+	}
+
+	// The capture sits after the sampler: every traversal it saw must
+	// be fully kept (start..end contiguous levels), never split.
+	cap.mu.Lock()
+	defer cap.mu.Unlock()
+	if len(cap.dirs) != kept {
+		t.Errorf("recorder saw %d traversals, sampler kept %d", len(cap.dirs), kept)
+	}
+}
+
+// TestRunManyFlightRecorder drives RunMany into an obs.Ring and checks
+// the flight-recorder dump: the last N roots, whole, as a valid trace.
+func TestRunManyFlightRecorder(t *testing.T) {
+	p := rmat.DefaultParams(10, 8)
+	p.Seed = 44
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]int32, 16)
+	for i := range roots {
+		roots[i] = int32(i)
+	}
+	ring := obs.NewRing(4, 0)
+	if _, err := bfs.RunMany(g, roots, bfs.ManyOptions{
+		Engine:      bfs.HybridEngine(bfs.DefaultM, bfs.DefaultN, 2),
+		Concurrency: 2,
+		Recorder:    ring,
+	}); err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	st := ring.Stats()
+	if st.Retained != 4 {
+		t.Fatalf("ring stats = %+v, want 4 retained", st)
+	}
+	if st.Open != 0 {
+		// Trailing root_done events must merge into their retained
+		// group (or retire as stubs), never linger open — an open stub
+		// per root would be a leak in a long-running service.
+		t.Errorf("ring left %d groups open at rest", st.Open)
+	}
+	var buf bytes.Buffer
+	if err := ring.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("flight-recorder dump invalid: %v", err)
+	}
+	if len(s.LevelDirs) < 4 {
+		t.Errorf("dump has %d complete traversal lanes, want >= 4", len(s.LevelDirs))
+	}
+}
+
+// TestMetricsSnapshotMidRunMany scrapes Snapshot repeatedly WHILE a
+// RunMany batch is recording into the same Metrics: every snapshot
+// must be internally sane (monotonic counters, no torn negative
+// values), and the final state must agree with the results.
+func TestMetricsSnapshotMidRunMany(t *testing.T) {
+	p := rmat.DefaultParams(12, 8)
+	p.Seed = 45
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]int32, 24)
+	for i := range roots {
+		roots[i] = int32(i)
+	}
+	metrics := obs.NewMetrics()
+	done := make(chan []*bfs.Result, 1)
+	go func() {
+		results, err := bfs.RunMany(g, roots, bfs.ManyOptions{
+			Engine:      bfs.HybridEngine(bfs.DefaultM, bfs.DefaultN, 2),
+			Concurrency: 4,
+			Recorder:    metrics,
+		})
+		if err != nil {
+			t.Errorf("RunMany: %v", err)
+		}
+		done <- results
+	}()
+
+	var prev map[string]int64
+	monotone := []string{"traversals_total", "levels_total", "roots_dispatched_total", "roots_done_total",
+		"vertices_discovered_total", "grains_dispatched_total"}
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		s := metrics.Snapshot()
+		for k, v := range s {
+			if v < 0 {
+				t.Fatalf("mid-run snapshot has negative %s = %d", k, v)
+			}
+		}
+		if s["roots_done_total"] > s["roots_dispatched_total"] {
+			t.Fatalf("mid-run snapshot: %d roots done > %d dispatched",
+				s["roots_done_total"], s["roots_dispatched_total"])
+		}
+		if prev != nil {
+			for _, k := range monotone {
+				if s[k] < prev[k] {
+					t.Fatalf("counter %s went backwards: %d -> %d", k, prev[k], s[k])
+				}
+			}
+		}
+		prev = s
+	}
+	s := metrics.Snapshot()
+	if s["traversals_total"] != int64(len(roots)) || s["roots_done_total"] != int64(len(roots)) {
+		t.Errorf("final snapshot: traversals=%d roots_done=%d, want %d each",
+			s["traversals_total"], s["roots_done_total"], len(roots))
+	}
+}

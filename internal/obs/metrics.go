@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -177,6 +178,16 @@ func (m *Metrics) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders the snapshot as an indented JSON object with keys
+// in sorted order (encoding/json sorts map keys), the scriptable
+// counterpart to WriteText: bfsrun -metrics-out writes this format so
+// dashboards and jq pipelines consume counters without scraping text.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
 }
 
 // Handler returns the pull-based text endpoint: GET it to scrape the

@@ -1,7 +1,11 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -131,5 +135,127 @@ func TestMetricsConcurrentEvents(t *testing.T) {
 	}
 	if s["vertices_discovered_total"] != workers*per {
 		t.Errorf("vertices_discovered_total = %d, want %d", s["vertices_discovered_total"], workers*per)
+	}
+}
+
+func TestMetricsWriteJSON(t *testing.T) {
+	m := NewMetrics()
+	feedMetrics(m)
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got map[string]int64
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	want := m.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("JSON has %d keys, snapshot has %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("json[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Stable key order: encoding/json sorts map keys, so two renders of
+	// the same state must be byte-identical — the property scripts that
+	// diff -metrics-out files rely on.
+	var sb2 strings.Builder
+	if err := m.WriteJSON(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("two WriteJSON renders of the same state differ")
+	}
+	keys := make([]string, 0, len(got))
+	dec := json.NewDecoder(strings.NewReader(sb.String()))
+	if _, err := dec.Token(); err != nil { // consume '{'
+		t.Fatal(err)
+	}
+	for dec.More() {
+		tok, err := dec.Token()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k, ok := tok.(string); ok {
+			keys = append(keys, k)
+		}
+		if _, err := dec.Token(); err != nil { // consume the value
+			t.Fatal(err)
+		}
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("JSON keys not sorted: %v", keys)
+	}
+}
+
+// TestMetricsScrapeWhileRecording is the race-mode gate for the pull
+// endpoints: HTTP scrapes (Handler), expvar reads (Publish), and text
+// renders all run concurrently with a storm of recording goroutines.
+func TestMetricsScrapeWhileRecording(t *testing.T) {
+	m := NewMetrics()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+	// Publish panics on duplicate names; a unique per-test name keeps
+	// repeated -count runs inside one process safe.
+	m.Publish(fmt.Sprintf("crossbfs_scrape_test_%d", time.Now().UnixNano()))
+
+	stop := make(chan struct{})
+	var rec sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		rec.Add(1)
+		go func(w int) {
+			defer rec.Done()
+			i := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				m.Event(Event{Kind: KindTraversalStart, TraversalID: uint64(i)})
+				m.Event(Event{Kind: KindLevel, Dir: TopDown, FrontierVertices: i, Discovered: 1,
+					Grains: 1, WallDur: time.Duration(i) * time.Microsecond})
+				m.Event(Event{Kind: KindTraversalEnd, TraversalID: uint64(i)})
+			}
+		}(w)
+	}
+	var scr sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scr.Add(1)
+		go func() {
+			defer scr.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := srv.Client().Get(srv.URL)
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("read scrape: %v", err)
+					return
+				}
+				if !strings.Contains(string(body), "crossbfs_traversals_total") {
+					t.Errorf("scrape missing traversals_total:\n%s", body)
+					return
+				}
+				var sb strings.Builder
+				if err := m.WriteJSON(&sb); err != nil {
+					t.Errorf("WriteJSON during recording: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	scr.Wait()
+	close(stop)
+	rec.Wait()
+	s := m.Snapshot()
+	if s["traversals_total"] == 0 || s["levels_total"] == 0 {
+		t.Errorf("no events recorded during scrape storm: %v", s)
 	}
 }

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// DefaultStreamBuffer is the pending-byte cap for NewStreamWriter.
+const DefaultStreamBuffer = 256 << 10
+
+// StreamWriter is a Recorder that encodes the same Chrome trace-event
+// byte stream as TraceWriter, but incrementally: events are framed
+// into a small fixed-capacity pending buffer and a background flusher
+// copies it to the underlying writer. Memory stays bounded regardless
+// of run length — the sink a long-running service can leave attached —
+// and a drop-free stream is byte-for-byte identical to TraceWriter's
+// output for the same event sequence.
+//
+// Backpressure policy: Event never blocks and never grows the buffer
+// past its cap. If the writer cannot keep up and an encoded event
+// would push the pending bytes over the cap, that event is dropped
+// whole and counted (Stats). Dropped KindLevel slices make the lane's
+// step sequence non-contiguous, so a trace with Stats().Dropped > 0
+// may fail ValidateTrace's continuity check — by design: the stream
+// is lossy under backpressure, and the drop count says so. Lane
+// registrations (pids, tids, thread names) performed while encoding a
+// dropped event persist, so at worst a lane loses its display name,
+// never its identity.
+//
+// Close drains the pending buffer, appends a "stream_dropped_events"
+// metadata record when anything was dropped, writes the document
+// epilogue, and returns the first write error. Flush blocks until
+// everything buffered so far has reached the writer.
+type StreamWriter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	w    io.Writer
+
+	lanes *laneState
+	frame framer
+
+	// pending accumulates framed bytes under mu; flip is the buffer
+	// the flusher is writing from. They are pointer-swapped so the
+	// kernel-side Event call never waits on the writer.
+	pending *bytes.Buffer
+	flip    *bytes.Buffer
+	// scratch holds one event's framed encoding (possibly several
+	// traceEvents: registration metadata plus the event itself) so the
+	// cap check can accept or drop it atomically.
+	scratch bytes.Buffer
+
+	cap        int
+	dropped    uint64
+	maxPending int
+	flushing   bool
+	closing    bool
+	closed     bool
+	err        error
+	done       chan struct{}
+}
+
+// StreamStats is a point-in-time view of a StreamWriter's buffering
+// behaviour.
+type StreamStats struct {
+	// Dropped counts events discarded whole because the pending buffer
+	// was full.
+	Dropped uint64
+	// MaxBuffered is the high-water mark of pending bytes.
+	MaxBuffered int
+	// BufferCap is the configured pending-byte cap.
+	BufferCap int
+}
+
+// NewStreamWriter returns a StreamWriter with the default buffer cap.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return NewStreamWriterSize(w, DefaultStreamBuffer)
+}
+
+// NewStreamWriterSize returns a StreamWriter whose pending buffer is
+// capped at bufCap bytes (minimum 4 KiB). Total memory is bounded by
+// roughly twice the cap (pending plus in-flight flip buffer) plus one
+// event's encoding.
+func NewStreamWriterSize(w io.Writer, bufCap int) *StreamWriter {
+	if bufCap < 4<<10 {
+		bufCap = 4 << 10
+	}
+	s := &StreamWriter{
+		w:       w,
+		pending: new(bytes.Buffer),
+		flip:    new(bytes.Buffer),
+		cap:     bufCap,
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.lanes = newLaneState(func(ev traceEvent) {
+		s.frame.appendEvent(&s.scratch, ev)
+	})
+	go s.flushLoop()
+	return s
+}
+
+// Event implements Recorder. It never blocks on the underlying writer:
+// the encoded event is either queued within the buffer cap or dropped
+// whole and counted.
+func (s *StreamWriter) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing || s.closed {
+		return
+	}
+	// Encode into scratch first so acceptance is all-or-nothing even
+	// when one Event expands to several traceEvents. The framer's only
+	// state is whether the preamble was written, so it can be rolled
+	// back if the bytes are discarded.
+	frameBefore := s.frame
+	s.scratch.Reset()
+	s.lanes.event(e)
+	if s.scratch.Len() == 0 {
+		return // registration-only kinds (KindPlanStart) emit nothing
+	}
+	if s.pending.Len()+s.scratch.Len() > s.cap {
+		s.frame = frameBefore
+		s.dropped++
+		return
+	}
+	s.pending.Write(s.scratch.Bytes())
+	if s.pending.Len() > s.maxPending {
+		s.maxPending = s.pending.Len()
+	}
+	s.cond.Broadcast()
+}
+
+// flushLoop moves pending bytes to the writer outside the lock.
+func (s *StreamWriter) flushLoop() {
+	s.mu.Lock()
+	for {
+		for !s.closing && s.pending.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.pending.Len() == 0 {
+			break // closing and fully drained
+		}
+		s.pending, s.flip = s.flip, s.pending
+		s.flushing = true
+		out := s.flip
+		s.mu.Unlock()
+		_, werr := s.w.Write(out.Bytes())
+		s.mu.Lock()
+		out.Reset()
+		s.flushing = false
+		if werr != nil && s.err == nil {
+			s.err = werr
+		}
+		s.cond.Broadcast() // wake Flush waiters
+	}
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// Flush blocks until every event accepted so far has been handed to
+// the underlying writer, and returns the first write error seen.
+func (s *StreamWriter) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed && (s.pending.Len() > 0 || s.flushing) {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// Close drains the buffer, writes the drop-count metadata (only when
+// events were dropped, so a drop-free stream stays byte-identical to
+// TraceWriter) and the document epilogue, and shuts the flusher down.
+// Events arriving after Close are dropped silently. Close is
+// idempotent; only the first call writes.
+func (s *StreamWriter) Close() error {
+	s.mu.Lock()
+	if s.closing || s.closed {
+		err := s.err
+		s.mu.Unlock()
+		<-s.done
+		return err
+	}
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.done // flusher has drained pending and exited
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var tail bytes.Buffer
+	if s.dropped > 0 {
+		s.frame.appendEvent(&tail, traceEvent{
+			Name: "stream_dropped_events", Ph: "M", Pid: hostPid, Tid: 0,
+			Args: map[string]any{"dropped": s.dropped},
+		})
+	}
+	s.frame.finish(&tail)
+	if _, werr := s.w.Write(tail.Bytes()); werr != nil && s.err == nil {
+		s.err = werr
+	}
+	return s.err
+}
+
+// Stats reports drop and buffering counters. Safe to call at any time,
+// including after Close.
+func (s *StreamWriter) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StreamStats{Dropped: s.dropped, MaxBuffered: s.maxPending, BufferCap: s.cap}
+}

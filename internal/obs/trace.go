@@ -9,68 +9,24 @@ import (
 	"time"
 )
 
-// TraceWriter is a Recorder that renders the event stream as Chrome
-// trace-event JSON (the catapult "JSON object format"), loadable in
-// chrome://tracing and https://ui.perfetto.dev. A whole
-// cross-architecture run — CPU top-down levels, the GPU bottom-up
-// middle, the GPU top-down tail, the PCIe handoffs between them —
-// becomes a timeline with one track group (pid) per device.
+// This file holds the Chrome trace-event encoder shared by the two
+// trace-producing recorders: TraceWriter (buffer whole run in memory,
+// write on Close — exact, lossless) and StreamWriter (stream.go:
+// bounded memory, incremental writes, drops under backpressure). Both
+// compose the same two pieces so their output is byte-compatible:
 //
-// Track model (see OBSERVABILITY.md for the full schema):
-//
-//   - pid 1 "host": real traversals. One thread (tid) per traversal;
-//     each expansion step is a complete ("X") slice whose args carry
-//     the per-level work counts, with instants for direction switches
-//     and traversal start/end. Timestamps are wall-clock microseconds
-//     since the first recorded event.
-//   - pid 2 "interconnect": simulated device-to-device handoffs as
-//     slices on the modeled link, args carrying the payload bytes.
-//   - pid 3+: one per modeled device (lazily registered under its
-//     archsim label). Simulated plan timelines place each priced step
-//     on its device's track, sharing one tid per plan run, on the
-//     simulated clock (modeled seconds rendered as microseconds).
-//
-// Events are encoded under one mutex as they arrive, so a TraceWriter
-// shared by concurrent RunMany roots never produces interleaved or
-// torn JSON; the file is buffered in memory and written on Close.
-type TraceWriter struct {
-	mu     sync.Mutex
-	w      io.Writer
-	buf    bytes.Buffer
-	closed bool
-
-	// Wall epoch: latched from the first wall-clocked event so the
-	// timeline starts at ts 0 regardless of when the process began.
-	epoch     time.Time
-	haveEpoch bool
-
-	pids     map[string]int // lane name -> pid
-	tids     map[uint64]int // TraversalID -> tid
-	nextPid  int
-	nextTid  int
-	planName map[uint64]string // TraversalID -> plan name (simulated)
-	named    map[[2]int]bool   // (pid,tid) pairs with thread_name emitted
-}
+//   - laneState: the Event -> traceEvent translation plus all lane
+//     bookkeeping (pid/tid registration, plan names, thread_name
+//     metadata, the wall epoch). Encoded events leave through a sink
+//     callback, so the owner decides where bytes accumulate.
+//   - framer: the JSON document framing (preamble with the well-known
+//     host/interconnect metadata, ",\n" separators, epilogue).
 
 // Reserved lane pids.
 const (
 	hostPid = 1
 	linkPid = 2
 )
-
-// NewTraceWriter returns a TraceWriter that will emit the trace file
-// to w when Close is called.
-func NewTraceWriter(w io.Writer) *TraceWriter {
-	return &TraceWriter{
-		w:        w,
-		pids:     map[string]int{"host": hostPid, "interconnect": linkPid},
-		tids:     make(map[uint64]int),
-		nextPid:  linkPid + 1,
-		nextTid:  1,
-		planName: make(map[uint64]string),
-		named:    make(map[[2]int]bool),
-	}
-}
 
 // traceEvent is one element of the trace file's traceEvents array.
 // Field order is fixed (and args maps marshal with sorted keys), so a
@@ -88,13 +44,45 @@ type traceEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// Event implements Recorder.
-func (t *TraceWriter) Event(e Event) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return
+// laneState owns the Event -> traceEvent translation and every piece
+// of registration state behind it. It is not safe for concurrent use;
+// owners serialize access (TraceWriter and StreamWriter both hold a
+// mutex across event).
+type laneState struct {
+	// Wall epoch: latched from the first wall-clocked event so the
+	// timeline starts at ts 0 regardless of when the process began.
+	epoch     time.Time
+	haveEpoch bool
+
+	pids     map[string]int // lane name -> pid
+	tids     map[uint64]int // TraversalID -> tid
+	nextPid  int
+	nextTid  int
+	planName map[uint64]string // TraversalID -> plan name (simulated)
+	named    map[[2]int]bool   // (pid,tid) pairs with thread_name emitted
+
+	// emit receives each encoded traceEvent in order. Registration
+	// metadata (process_name, thread_name) is emitted through the same
+	// sink, interleaved exactly where TraceWriter historically placed
+	// it — that ordering is part of the golden-file contract.
+	emit func(traceEvent)
+}
+
+func newLaneState(emit func(traceEvent)) *laneState {
+	return &laneState{
+		pids:     map[string]int{"host": hostPid, "interconnect": linkPid},
+		tids:     make(map[uint64]int),
+		nextPid:  linkPid + 1,
+		nextTid:  1,
+		planName: make(map[uint64]string),
+		named:    make(map[[2]int]bool),
+		emit:     emit,
 	}
+}
+
+// event translates one telemetry event into zero or more traceEvents
+// delivered to the sink.
+func (t *laneState) event(e Event) {
 	switch e.Kind {
 	case KindTraversalStart:
 		tid := t.tid(e.TraversalID)
@@ -213,7 +201,7 @@ func (t *TraceWriter) Event(e Event) {
 }
 
 // planLabel names a simulated timeline for display.
-func (t *TraceWriter) planLabel(id uint64) string {
+func (t *laneState) planLabel(id uint64) string {
 	if name := t.planName[id]; name != "" {
 		return name
 	}
@@ -223,7 +211,7 @@ func (t *TraceWriter) planLabel(id uint64) string {
 // wallTS converts a wall instant to trace microseconds, latching the
 // epoch on first use. Zero instants (events from emitters that had no
 // clock in hand) map to the epoch.
-func (t *TraceWriter) wallTS(w time.Time) float64 {
+func (t *laneState) wallTS(w time.Time) float64 {
 	if w.IsZero() {
 		return 0
 	}
@@ -235,7 +223,7 @@ func (t *TraceWriter) wallTS(w time.Time) float64 {
 
 // pid returns the lane for a device name, registering it (plus its
 // process_name metadata) on first use.
-func (t *TraceWriter) pid(device string) int {
+func (t *laneState) pid(device string) int {
 	if device == "" {
 		device = "host"
 	}
@@ -257,7 +245,7 @@ func (t *TraceWriter) pid(device string) int {
 }
 
 // tid returns the thread lane for a traversal/timeline ID.
-func (t *TraceWriter) tid(id uint64) int {
+func (t *laneState) tid(id uint64) int {
 	if tid, ok := t.tids[id]; ok {
 		return tid
 	}
@@ -268,7 +256,7 @@ func (t *TraceWriter) tid(id uint64) int {
 }
 
 // threadName emits thread_name metadata once per (pid, tid) pair.
-func (t *TraceWriter) threadName(pid, tid int, name string) {
+func (t *laneState) threadName(pid, tid int, name string) {
 	key := [2]int{pid, tid}
 	if t.named[key] {
 		return
@@ -280,29 +268,47 @@ func (t *TraceWriter) threadName(pid, tid int, name string) {
 	})
 }
 
-// emit appends one encoded event to the buffer. Callers hold t.mu.
-func (t *TraceWriter) emit(ev traceEvent) {
-	// Well-known process names are registered eagerly so every file
-	// has them exactly once, before any event that uses the lanes.
-	if t.buf.Len() == 0 {
-		t.buf.WriteString(`{"traceEvents":[`)
+// framer writes the JSON document structure around encoded events. Its
+// whole state is one bool, which lets StreamWriter snapshot and roll
+// it back when an event is dropped after partial encoding.
+type framer struct {
+	started bool
+}
+
+// appendEvent writes ev to buf with the correct framing: the document
+// preamble plus the well-known host/interconnect lane metadata before
+// the first event, a ",\n" separator before every later one.
+func (f *framer) appendEvent(buf *bytes.Buffer, ev traceEvent) {
+	if !f.started {
+		f.started = true
+		buf.WriteString(`{"traceEvents":[`)
 		for _, meta := range []traceEvent{
 			{Name: "process_name", Ph: "M", Pid: hostPid, Args: map[string]any{"name": "host"}},
 			{Name: "process_sort_index", Ph: "M", Pid: hostPid, Args: map[string]any{"sort_index": hostPid}},
 			{Name: "process_name", Ph: "M", Pid: linkPid, Args: map[string]any{"name": "interconnect"}},
 			{Name: "process_sort_index", Ph: "M", Pid: linkPid, Args: map[string]any{"sort_index": linkPid}},
 		} {
-			t.writeEvent(meta)
-			t.buf.WriteString(",\n")
+			writeTraceEvent(buf, meta)
+			buf.WriteString(",\n")
 		}
-		t.writeEvent(ev)
+		writeTraceEvent(buf, ev)
 		return
 	}
-	t.buf.WriteString(",\n")
-	t.writeEvent(ev)
+	buf.WriteString(",\n")
+	writeTraceEvent(buf, ev)
 }
 
-func (t *TraceWriter) writeEvent(ev traceEvent) {
+// finish writes the document epilogue. A document that never saw an
+// event still gets a valid (empty) traceEvents array.
+func (f *framer) finish(buf *bytes.Buffer) {
+	if !f.started {
+		f.started = true
+		buf.WriteString(`{"traceEvents":[`)
+	}
+	buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+}
+
+func writeTraceEvent(buf *bytes.Buffer, ev traceEvent) {
 	b, err := json.Marshal(ev)
 	if err != nil {
 		// traceEvent contains only marshalable fields; a failure here
@@ -310,7 +316,63 @@ func (t *TraceWriter) writeEvent(ev traceEvent) {
 		// must not kill a traced production run.
 		b = []byte(fmt.Sprintf(`{"name":"encode error","ph":"i","ts":0,"pid":1,"tid":0,"s":"g","args":{"error":%q}}`, err))
 	}
-	t.buf.Write(b)
+	buf.Write(b)
+}
+
+// TraceWriter is a Recorder that renders the event stream as Chrome
+// trace-event JSON (the catapult "JSON object format"), loadable in
+// chrome://tracing and https://ui.perfetto.dev. A whole
+// cross-architecture run — CPU top-down levels, the GPU bottom-up
+// middle, the GPU top-down tail, the PCIe handoffs between them —
+// becomes a timeline with one track group (pid) per device.
+//
+// Track model (see OBSERVABILITY.md for the full schema):
+//
+//   - pid 1 "host": real traversals. One thread (tid) per traversal;
+//     each expansion step is a complete ("X") slice whose args carry
+//     the per-level work counts, with instants for direction switches
+//     and traversal start/end. Timestamps are wall-clock microseconds
+//     since the first recorded event.
+//   - pid 2 "interconnect": simulated device-to-device handoffs as
+//     slices on the modeled link, args carrying the payload bytes.
+//   - pid 3+: one per modeled device (lazily registered under its
+//     archsim label). Simulated plan timelines place each priced step
+//     on its device's track, sharing one tid per plan run, on the
+//     simulated clock (modeled seconds rendered as microseconds).
+//
+// Events are encoded under one mutex as they arrive, so a TraceWriter
+// shared by concurrent RunMany roots never produces interleaved or
+// torn JSON; the file is buffered in memory and written on Close. For
+// runs whose length (or lifetime) makes an unbounded buffer wrong,
+// StreamWriter produces the same byte stream incrementally.
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	buf    bytes.Buffer
+	closed bool
+
+	lanes *laneState
+	frame framer
+}
+
+// NewTraceWriter returns a TraceWriter that will emit the trace file
+// to w when Close is called.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: w}
+	t.lanes = newLaneState(func(ev traceEvent) {
+		t.frame.appendEvent(&t.buf, ev)
+	})
+	return t
+}
+
+// Event implements Recorder.
+func (t *TraceWriter) Event(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.lanes.event(e)
 }
 
 // Close finalizes the JSON document and writes it to the underlying
@@ -323,10 +385,7 @@ func (t *TraceWriter) Close() error {
 		return nil
 	}
 	t.closed = true
-	if t.buf.Len() == 0 {
-		t.buf.WriteString(`{"traceEvents":[`)
-	}
-	t.buf.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	t.frame.finish(&t.buf)
 	_, err := t.w.Write(t.buf.Bytes())
 	return err
 }
