@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race trace-smoke bench-report verify fuzz fuzz-faults
+.PHONY: all build test lint lint-json race trace-smoke bench-report verify fuzz fuzz-faults
 
 all: verify
 
@@ -15,11 +15,18 @@ test:
 	$(GO) test ./...
 
 # lint runs go vet plus crossbfslint, the codebase-specific analyzer
-# suite (sharedwrite, atomicpair, indexarith, grainloop, ctxcheck).
-# See internal/lint and the README's "Verification & static analysis".
+# suite (sharedwrite, atomicpair, indexarith, grainloop, ctxcheck,
+# hotalloc, obsdiscipline, faulterr). See internal/lint and LINTING.md.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/crossbfslint ./...
+
+# lint-json writes the same findings as a machine-readable report (CI
+# uploads it as a workflow artifact). The exit code still gates: a
+# report full of diagnostics fails the target just like `lint`.
+LINTOUT ?= /tmp/crossbfslint.json
+lint-json:
+	$(GO) run ./cmd/crossbfslint -json ./... > $(LINTOUT)
 
 # race exercises the concurrent kernels, the parallelGrains scheduler,
 # and the cancellation/fault paths under the race detector. bfs and

@@ -444,7 +444,7 @@ func PredictSwitchPoint(m *Model, p RMATParams, g *Graph, tdArch, buArch Arch) S
 // on-coprocessor combination, then return the cross plan.
 func NewAdaptiveCrossPlan(m *Model, p RMATParams, g *Graph, host, coprocessor Arch) (Plan, error) {
 	if m == nil {
-		return nil, fmt.Errorf("crossbfs: nil model")
+		return nil, fmt.Errorf("crossbfs: nil model") //lint:fault-ok argument validation, not a runtime fault; callers test for nil before dispatch
 	}
 	boundary := PredictSwitchPoint(m, p, g, host, coprocessor)
 	onCop := PredictSwitchPoint(m, p, g, coprocessor, coprocessor)

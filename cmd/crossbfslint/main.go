@@ -7,15 +7,18 @@
 //
 // Usage:
 //
-//	crossbfslint [-c analyzer,...] [-v] [-debug] [packages...]
+//	crossbfslint [-c analyzer,...] [-v] [-debug] [-json] [packages...]
 //
 // Packages default to ./... resolved against the current directory.
 // Exit status is 0 when no diagnostics fire, 1 when any do, 2 on
 // operational errors — the same contract as go vet, so `make verify`
-// and CI can gate on it.
+// and CI can gate on it. -json replaces the line-per-diagnostic text
+// output with a single machine-readable report on stdout (the exit
+// contract is unchanged), which CI uploads as a workflow artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +30,25 @@ import (
 	"crossbfs/internal/lint"
 )
 
+// jsonDiagnostic is one finding in -json output, positions resolved.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the whole -json document: the findings plus enough
+// run metadata (what ran, over how many packages) that an empty
+// diagnostics list is distinguishable from an analyzer that never ran.
+type jsonReport struct {
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+	Count       int              `json:"count"`
+	Packages    int              `json:"packages"`
+	Analyzers   []string         `json:"analyzers"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -37,8 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
 	verbose := fs.Bool("v", false, "list analyzers and package count")
 	debug := fs.Bool("debug", false, "print per-analyzer wall time and loader cache stats")
+	jsonOut := fs.Bool("json", false, "emit one JSON report on stdout instead of text diagnostics")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: crossbfslint [-c analyzer,...] [-v] [-debug] [packages...]\n\nanalyzers:\n")
+		fmt.Fprintf(stderr, "usage: crossbfslint [-c analyzer,...] [-v] [-debug] [-json] [packages...]\n\nanalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -88,9 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *debug {
-		hits, misses := lint.GoListCacheStats()
-		fmt.Fprintf(stderr, "crossbfslint: load %v (go list cache: %d hits, %d misses)\n",
-			loadTime.Round(time.Millisecond), hits, misses)
+		hits, misses, invalidations := lint.GoListCacheStats()
+		fmt.Fprintf(stderr, "crossbfslint: load %v (go list cache: %d hits, %d misses, %d invalidated)\n",
+			loadTime.Round(time.Millisecond), hits, misses, invalidations)
 		names := make([]string, 0, len(elapsed))
 		for name := range elapsed {
 			names = append(names, name)
@@ -100,8 +123,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "crossbfslint: %-12s %v\n", name, elapsed[name].Round(time.Microsecond))
 		}
 	}
-	for _, d := range diags {
-		fmt.Fprintf(stdout, "%s: %s: %s\n", d.Position(pkgs[0].Fset), d.Analyzer, d.Message)
+	if *jsonOut {
+		report := jsonReport{
+			Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
+			Count:       len(diags),
+			Packages:    len(pkgs),
+		}
+		for _, a := range analyzers {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		for _, d := range diags {
+			pos := d.Position(pkgs[0].Fset)
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "crossbfslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", d.Position(pkgs[0].Fset), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"crossbfs/internal/lint"
 )
 
 func TestUnknownAnalyzerExits2(t *testing.T) {
@@ -37,6 +40,39 @@ func TestCleanPackages(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Errorf("expected no diagnostics, got:\n%s", out.String())
+	}
+}
+
+// TestJSONReport exercises -json: stdout carries exactly one decodable
+// report whose metadata reflects the run even when no diagnostics
+// fired — CI archives this file, so "clean" must be distinguishable
+// from "didn't run".
+func TestJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-json", "crossbfs/internal/bitmap"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, errBuf.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if report.Count != 0 || len(report.Diagnostics) != 0 {
+		t.Errorf("bitmap should be clean, got count=%d diagnostics=%v", report.Count, report.Diagnostics)
+	}
+	if report.Packages != 1 {
+		t.Errorf("packages = %d, want 1", report.Packages)
+	}
+	if len(report.Analyzers) != len(lint.All()) {
+		t.Errorf("analyzers = %v, want all %d", report.Analyzers, len(lint.All()))
+	}
+	// The diagnostics list must serialize as [], not null: jq pipelines
+	// iterate it unconditionally.
+	if !bytes.Contains(out.Bytes(), []byte(`"diagnostics": []`)) {
+		t.Errorf("empty diagnostics did not serialize as []:\n%s", out.String())
 	}
 }
 

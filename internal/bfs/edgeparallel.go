@@ -47,6 +47,7 @@ func topDownLevelEdgeParallel(ctx context.Context, g *graph.CSR, r *Result, visi
 	err := parallelGrains(ctx, int(totalEdges), epGrain, nworkers, func(worker, start, end int) {
 		local := locals[worker]
 		// First frontier vertex whose edge range intersects [start, end).
+		//lint:alloc-ok one predicate closure per grain, amortised over the grain's whole edge range
 		qi := sort.Search(len(queue), func(i int) bool { return prefix[i+1] > int64(start) })
 		for pos := int64(start); pos < int64(end) && qi < len(queue); {
 			u := queue[qi]

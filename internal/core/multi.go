@@ -102,6 +102,15 @@ func SimulateMultiObserved(tr *bfs.Trace, plan MultiCross, link archsim.Link, re
 			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
 			Engine: plan.Name(), Dir: obs.DirNone,
 		})
+		// Deferred closer: the timeline stays paired on every exit
+		// path, panics included; t.Total is final when it runs.
+		defer func() {
+			rec.Event(obs.Event{
+				Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Dir: obs.DirNone,
+				SimStart: t.Total, SimDur: t.Total,
+			})
+		}()
 	}
 
 	bitmapBytes := (tr.NumVertices + 7) / 8
@@ -191,13 +200,6 @@ func SimulateMultiObserved(tr *bfs.Trace, plan MultiCross, link archsim.Link, re
 		t.Steps = append(t.Steps, st)
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
-	}
-	if live {
-		rec.Event(obs.Event{
-			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
-			Engine: plan.Name(), Dir: obs.DirNone,
-			SimStart: t.Total, SimDur: t.Total,
-		})
 	}
 	return t, nil
 }

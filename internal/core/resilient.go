@@ -142,6 +142,16 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
 			Engine: plan.Name(), Dir: obs.DirNone,
 		})
+		// Deferred closer: the fatal rungs of the ladder return early
+		// with a *fault.Error, and the timeline must close on those
+		// paths too — a degraded plan still ends, at the partial total.
+		defer func() {
+			rec.Event(obs.Event{
+				Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Dir: obs.DirNone,
+				SimStart: t.Total, SimDur: t.Total,
+			})
+		}()
 	}
 	// noteFault appends one ladder record and mirrors it as a telemetry
 	// event — retry → KindRetry, replan → KindReplan, slowdown/fatal →
@@ -350,13 +360,6 @@ func SimulateResilient(tr *bfs.Trace, plan Plan, link archsim.Link, opts Resilie
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
 	}
-	if live {
-		rec.Event(obs.Event{
-			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
-			Engine: plan.Name(), Dir: obs.DirNone,
-			SimStart: t.Total, SimDur: t.Total,
-		})
-	}
 	return t, nil
 }
 
@@ -408,6 +411,7 @@ func ExecuteResilient(ctx context.Context, g *graph.CSR, source int32, plan Plan
 	// steps between devices but never changes their direction.
 	for i, st := range timing.Steps {
 		if res.Directions[i] != st.Dir {
+			//lint:fault-ok invariant violation (non-deterministic plan), not a modeled fault; nothing to wrap
 			return nil, nil, nil, fmt.Errorf("core: plan %s resilient replay diverged at step %d (%s vs %s)",
 				plan.Name(), i+1, res.Directions[i], st.Dir)
 		}

@@ -94,6 +94,16 @@ func SimulateObserved(tr *bfs.Trace, plan Plan, link archsim.Link, rec obs.Recor
 			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
 			Engine: plan.Name(), Dir: obs.DirNone,
 		})
+		// The closer runs under defer so the timeline stays paired even
+		// if a malformed trace panics a Place call mid-loop; t.Total is
+		// final by the time any exit path runs it.
+		defer func() {
+			rec.Event(obs.Event{
+				Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Dir: obs.DirNone,
+				SimStart: t.Total, SimDur: t.Total,
+			})
+		}()
 	}
 
 	prevArch := ""
@@ -155,13 +165,6 @@ func SimulateObserved(tr *bfs.Trace, plan Plan, link archsim.Link, rec obs.Recor
 		t.Steps = append(t.Steps, st)
 		t.Total += st.Kernel + st.Transfer
 		t.Transfers += st.Transfer
-	}
-	if live {
-		rec.Event(obs.Event{
-			Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
-			Engine: plan.Name(), Dir: obs.DirNone,
-			SimStart: t.Total, SimDur: t.Total,
-		})
 	}
 	return t
 }

@@ -62,9 +62,9 @@ func (d Diagnostic) Position(fset *token.FileSet) token.Position {
 }
 
 // Reportf records a finding at pos unless a //lint:<name>-ok directive
-// on the same line (or the line above) suppresses it.
+// attached to the enclosing statement or declaration suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	if p.suppress != nil && p.suppress.matches(p.Analyzer.Name, p.Fset.Position(pos)) {
+	if p.suppress != nil && p.suppress.matches(p.Analyzer.Name, pos) {
 		return
 	}
 	p.diagnostics = append(p.diagnostics, Diagnostic{

@@ -2,7 +2,7 @@ package lint
 
 // All returns the full crossbfslint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicPair, CtxCheck, GrainLoop, IndexArith, SharedWrite}
+	return []*Analyzer{AtomicPair, CtxCheck, FaultErr, GrainLoop, HotAlloc, IndexArith, ObsDiscipline, SharedWrite}
 }
 
 // ByName returns the named analyzers, or All() for an empty request.

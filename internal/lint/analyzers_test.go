@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryWellFormed is the table the registry itself must satisfy:
+// every analyzer All() returns has a usable identity. The name doubles
+// as the -c selector, the suppression tag root, and the diagnostic
+// prefix, so a blank or duplicated one corrupts three surfaces at once.
+func TestRegistryWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a == nil {
+			t.Fatal("All() returned a nil analyzer")
+		}
+		t.Run(a.Name, func(t *testing.T) {
+			if a.Name == "" {
+				t.Error("empty analyzer name")
+			}
+			if strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t") {
+				t.Errorf("name %q must be lowercase with no spaces (it is a flag value)", a.Name)
+			}
+			if seen[a.Name] {
+				t.Errorf("duplicate analyzer name %q", a.Name)
+			}
+			seen[a.Name] = true
+			if strings.TrimSpace(a.Doc) == "" {
+				t.Error("empty analyzer doc; it renders in crossbfslint -h")
+			}
+			if a.Run == nil {
+				t.Error("nil Run func")
+			}
+		})
+	}
+	if len(seen) != len(All()) {
+		t.Errorf("registry has %d unique names for %d analyzers", len(seen), len(All()))
+	}
+}
+
+// TestByNameRoundTrips pins the selector used by crossbfslint -c: every
+// registered name resolves to its own analyzer, and unknown names are
+// rejected rather than silently dropped.
+func TestByNameRoundTrips(t *testing.T) {
+	for _, a := range All() {
+		got, ok := ByName(a.Name)
+		if !ok || len(got) != 1 || got[0] != a {
+			t.Errorf("ByName(%q) = %v, %v; want the analyzer itself", a.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nosuchanalyzer"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkSrc type-checks a single dependency-free source file and wraps
+// it in a Pass, the input BuildCallGraph consumes.
+func checkSrc(t *testing.T, src string) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cgtest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := newTypesInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return &Pass{
+		Analyzer:  &Analyzer{Name: "test"},
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+func callsTo(n *CGNode, name string) bool {
+	for _, c := range n.Callees {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCallGraphDirectCalls(t *testing.T) {
+	src := `package p
+func a() { b() }
+func b() { c() }
+func c() {}
+func lone() {}`
+	g := BuildCallGraph(checkSrc(t, src))
+	a := nodeByName(t, g, "a")
+	if !callsTo(a, "b") {
+		t.Error("a must call b")
+	}
+	if callsTo(a, "c") {
+		t.Error("a must not call c directly")
+	}
+	reach := g.Reachable([]*CGNode{a})
+	if !reach[nodeByName(t, g, "c")] {
+		t.Error("c must be transitively reachable from a")
+	}
+	if reach[nodeByName(t, g, "lone")] {
+		t.Error("lone must not be reachable from a")
+	}
+}
+
+func TestCallGraphMethodsAndInterfaces(t *testing.T) {
+	src := `package p
+type Engine interface {
+	Run(n int) int
+}
+type serial struct{}
+func (serial) Run(n int) int { return serialWork(n) }
+type parallel struct{}
+func (p *parallel) Run(n int) int { return parallelWork(n) }
+func serialWork(n int) int   { return n }
+func parallelWork(n int) int { return n }
+func dispatch(e Engine) int  { return e.Run(4) }
+func direct() int {
+	var s serial
+	return s.Run(2)
+}`
+	g := BuildCallGraph(checkSrc(t, src))
+
+	// Interface dispatch fans out to every implementation's method.
+	dispatch := nodeByName(t, g, "dispatch")
+	reach := g.Reachable([]*CGNode{dispatch})
+	if !reach[nodeByName(t, g, "serialWork")] {
+		t.Error("dispatch must reach serialWork through the Engine method set")
+	}
+	if !reach[nodeByName(t, g, "parallelWork")] {
+		t.Error("dispatch must reach parallelWork through the *parallel method set")
+	}
+
+	// Concrete method calls resolve to exactly one target.
+	direct := nodeByName(t, g, "direct")
+	if !callsTo(direct, "(serial).Run") {
+		t.Error("direct must call (serial).Run")
+	}
+	reach = g.Reachable([]*CGNode{direct})
+	if reach[nodeByName(t, g, "parallelWork")] {
+		t.Error("a concrete serial.Run call must not reach parallelWork")
+	}
+}
+
+func TestCallGraphFuncLitContainment(t *testing.T) {
+	src := `package p
+func runner(fn func(int)) { fn(0) }
+func leaf() {}
+func host() {
+	runner(func(i int) {
+		leaf()
+	})
+}`
+	g := BuildCallGraph(checkSrc(t, src))
+	host := nodeByName(t, g, "host")
+	reach := g.Reachable([]*CGNode{host})
+	if !reach[nodeByName(t, g, "leaf")] {
+		t.Error("host must reach leaf through its contained function literal")
+	}
+	// The literal's calls must not be attributed to the host directly.
+	if callsTo(host, "leaf") {
+		t.Error("leaf is called by the literal, not by host itself")
+	}
+	// The literal node exists and calls leaf.
+	var lit *CGNode
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lit = n
+		}
+	}
+	if lit == nil || !callsTo(lit, "leaf") {
+		t.Error("the function literal node must call leaf")
+	}
+}
+
+func TestCallGraphNestedLitOwnership(t *testing.T) {
+	src := `package p
+func outer() {}
+func inner() {}
+func host() {
+	f := func() {
+		outer()
+		g := func() { inner() }
+		g()
+	}
+	f()
+}`
+	g := BuildCallGraph(checkSrc(t, src))
+	var lits []*CGNode
+	for _, n := range g.Nodes {
+		if n.Lit != nil {
+			lits = append(lits, n)
+		}
+	}
+	if len(lits) != 2 {
+		t.Fatalf("got %d literal nodes, want 2", len(lits))
+	}
+	host := nodeByName(t, g, "host")
+	reach := g.Reachable([]*CGNode{host})
+	for _, want := range []string{"outer", "inner"} {
+		if !reach[nodeByName(t, g, want)] {
+			t.Errorf("%s must be reachable from host via nested literals", want)
+		}
+	}
+	// The outer literal owns the outer() call; the inner owns inner().
+	for _, l := range lits {
+		if callsTo(l, "outer") && callsTo(l, "inner") {
+			t.Error("nested literal's calls leaked into the enclosing literal")
+		}
+	}
+}

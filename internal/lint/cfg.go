@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Lightweight intra-procedural control-flow graph. The dataflow
+// analyzers (obsdiscipline's begin/end pairing, and anything a future
+// check needs beyond syntax) ask path questions a plain AST walk cannot
+// answer: "can execution leave this function without passing through
+// one of these statements?". BuildCFG answers them with a conventional
+// basic-block graph over the function body — deliberately simpler than
+// x/tools/go/cfg (no expression-level ordering, `goto` approximated as
+// an exit) because the analyzers only consume reachability, not
+// per-expression dataflow.
+
+// Block is one straight-line run of statements. Nodes holds the
+// statements (and loop/if condition expressions) in execution order;
+// Succs the control-flow successors.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+	// Index is the block's position in CFG.Blocks, for debugging.
+	Index int
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; Exit is a synthetic block every return (and the
+// fall-off-the-end path) leads to. Defers collects the body's defer
+// statements — deferred calls run on every exit path including panics,
+// which is exactly the guarantee pairing checks look for.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	Defers []*ast.DeferStmt
+}
+
+// cfgTarget is one enclosing breakable/continuable construct.
+type cfgTarget struct {
+	label string
+	brk   *Block // break target (nil = not breakable)
+	cont  *Block // continue target (nil for switch/select)
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	targets      []cfgTarget
+	pendingLabel string
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+// body may be nil (a declaration without a body yields an empty graph
+// whose Entry flows straight to Exit).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		for _, s := range body.List {
+			b.stmt(s)
+		}
+	}
+	b.edge(b.cur, b.cfg.Exit) // fall off the end
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock begins a new block reachable from cur.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	b.edge(b.cur, blk)
+	return blk
+}
+
+// add appends a node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current straight-line path (return, panic,
+// break...): subsequent statements begin a fresh, unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock() // deliberately no incoming edge
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range x.List {
+			b.stmt(inner)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		b.add(x.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+		b.cur = b.newBlock()
+		b.edge(condBlock, b.cur)
+		b.stmt(x.Body)
+		b.edge(b.cur, after)
+		if x.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(condBlock, b.cur)
+			b.stmt(x.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlock, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		if x.Init != nil {
+			b.add(x.Init)
+		}
+		head := b.startBlock()
+		after := b.newBlock()
+		if x.Cond != nil {
+			head.Nodes = append(head.Nodes, x.Cond)
+			b.edge(head, after)
+		}
+		cont := head
+		if x.Post != nil {
+			cont = b.newBlock()
+			cont.Nodes = append(cont.Nodes, x.Post)
+			b.edge(cont, head)
+		}
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: cont})
+		b.cur = b.newBlock()
+		b.edge(head, b.cur)
+		b.stmt(x.Body)
+		b.edge(b.cur, cont)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		head := b.startBlock()
+		head.Nodes = append(head.Nodes, x.X)
+		after := b.newBlock()
+		b.edge(head, after) // range may be empty
+		b.targets = append(b.targets, cfgTarget{label: label, brk: after, cont: head})
+		b.cur = b.newBlock()
+		b.edge(head, b.cur)
+		b.stmt(x.Body)
+		b.edge(b.cur, head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchLike(label, x.Init, x.Tag, x.Body, false)
+	case *ast.TypeSwitchStmt:
+		b.switchLike(label, x.Init, nil, x.Body, false)
+		b.add(x.Assign)
+	case *ast.SelectStmt:
+		b.switchLike(label, nil, nil, x.Body, true)
+	case *ast.LabeledStmt:
+		b.pendingLabel = x.Label.Name
+		b.stmt(x.Stmt)
+	case *ast.ReturnStmt:
+		b.add(x)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.add(x)
+		switch x.Tok {
+		case token.BREAK:
+			if t := b.findTarget(x.Label, false); t != nil {
+				b.edge(b.cur, t.brk)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if t := b.findTarget(x.Label, true); t != nil {
+				b.edge(b.cur, t.cont)
+			}
+			b.terminate()
+		case token.GOTO:
+			// Approximation: goto is treated as leaving the function.
+			// The codebase has none; a future use would at worst make a
+			// path check conservative (more diagnostics, never fewer).
+			b.edge(b.cur, b.cfg.Exit)
+			b.terminate()
+		}
+		// fallthrough is handled by switchLike's sequential case edges.
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, x)
+		b.add(x)
+	case *ast.ExprStmt:
+		b.add(x)
+		if isTerminalCall(x.X) {
+			b.edge(b.cur, b.cfg.Exit)
+			b.terminate()
+		}
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchLike builds switch, type-switch, and select bodies: every case
+// clause starts from the dispatch block, every case body flows to the
+// common after-block, and a missing default leaves a dispatch->after
+// edge (no case may match).
+func (b *cfgBuilder) switchLike(label string, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, isSelect bool) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, cfgTarget{label: label, brk: after})
+
+	// Pre-create case body blocks so fallthrough can link to the next.
+	var clauses []ast.Stmt
+	if body != nil {
+		clauses = body.List
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(dispatch, blocks[i])
+		switch c := clauses[i].(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		b.edge(dispatch, after)
+	}
+	if isSelect && !hasDefault && len(clauses) == 0 {
+		// `select {}` blocks forever; nothing reaches after. Keep the
+		// edge anyway: pairing checks prefer conservative reachability.
+		b.edge(dispatch, after)
+	}
+	for i, clause := range clauses {
+		b.cur = blocks[i]
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			stmts = c.Body
+		}
+		fellThrough := false
+		for _, st := range stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(blocks) {
+					b.edge(b.cur, blocks[i+1])
+					fellThrough = true
+				}
+				continue
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.edge(b.cur, after)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+// findTarget resolves a break/continue to its enclosing construct.
+func (b *cfgBuilder) findTarget(label *ast.Ident, needCont bool) *cfgTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns: panic, os.Exit, log.Fatal*, runtime.Goexit. Matched
+// syntactically — the CFG builder runs without type information.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsShallow reports whether want's predicate matches any node in
+// n's subtree, not descending into nested function literals (their
+// bodies execute on their own schedule, not on this path).
+func containsShallow(n ast.Node, match func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found || c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		if match(c) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CanReachExitAvoiding reports whether execution can flow from just
+// after the statement containing `from` to the function exit without
+// passing a node matched by avoid. Nodes inside nested function
+// literals do not count as passing (they run on their own schedule).
+// If `from` is not found in the graph, the answer is conservatively
+// true.
+func (c *CFG) CanReachExitAvoiding(from ast.Node, avoid func(ast.Node) bool) bool {
+	startBlock, startIdx := c.find(from)
+	if startBlock == nil {
+		return true
+	}
+	// Remainder of the start block after `from`.
+	for _, n := range startBlock.Nodes[startIdx+1:] {
+		if containsShallow(n, avoid) {
+			return false
+		}
+	}
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == c.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if containsShallow(n, avoid) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range startBlock.Succs {
+		if walk(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// find locates the block and node index whose node is, or lexically
+// contains, the given node.
+func (c *CFG) find(target ast.Node) (*Block, int) {
+	for _, b := range c.Blocks {
+		for i, n := range b.Nodes {
+			if n == target {
+				return b, i
+			}
+			if n.Pos() <= target.Pos() && target.End() <= n.End() {
+				return b, i
+			}
+		}
+	}
+	return nil, -1
+}

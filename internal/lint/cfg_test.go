@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses a source file and returns the named function's
+// declaration plus the fileset.
+func parseFunc(t *testing.T, src, name string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgtest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fset, fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil
+}
+
+// findCall locates the first call statement whose source contains the
+// given substring.
+func findCall(t *testing.T, fset *token.FileSet, fd *ast.FuncDecl, src, sub string) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if es, ok := n.(*ast.ExprStmt); ok {
+			start := fset.Position(es.Pos()).Offset
+			end := fset.Position(es.End()).Offset
+			if strings.Contains(src[start:end], sub) {
+				found = es
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no statement containing %q", sub)
+	}
+	return found
+}
+
+// avoidCalls matches call statements invoking the named function.
+func avoidCalls(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f() {
+	open()
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("straight-line close() should block every path to exit")
+	}
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("never")) {
+		t.Error("exit should be reachable when nothing is avoided")
+	}
+}
+
+func TestCFGEarlyReturnSkipsCloser(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(c bool) {
+	open()
+	if c {
+		return
+	}
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("the early return path must reach exit without close()")
+	}
+}
+
+func TestCFGIfElseBothClose(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(c bool) {
+	open()
+	if c {
+		close()
+	} else {
+		close()
+	}
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("both branches close; no path should avoid close()")
+	}
+}
+
+func TestCFGIfWithoutElseLeaks(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(c bool) {
+	open()
+	if c {
+		close()
+	}
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("the if-false path must reach exit without close()")
+	}
+}
+
+func TestCFGLoopBreak(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func work() bool { return false }
+func f() {
+	open()
+	for {
+		if work() {
+			break
+		}
+	}
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("breaking out of the loop still passes close()")
+	}
+}
+
+func TestCFGLabeledContinue(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func cond(i, j int) bool { return i < j }
+func f() {
+	open()
+outer:
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if cond(i, j) {
+				continue outer
+			}
+		}
+	}
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("labeled continue stays in the loop; exit still passes close()")
+	}
+}
+
+func TestCFGSwitchMissingDefault(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(x int) {
+	open()
+	switch x {
+	case 1:
+		close()
+	case 2:
+		close()
+	}
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("a switch without default has a no-case-matched path avoiding close()")
+	}
+}
+
+func TestCFGSwitchWithDefault(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(x int) {
+	open()
+	switch x {
+	case 1:
+		close()
+	default:
+		close()
+	}
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("every case closes; no path should avoid close()")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func f(c bool) {
+	open()
+	if c {
+		panic("boom")
+	}
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	// panic leaves the function, but through the runtime, which runs
+	// defers — the CFG models it as an exit edge, so the panic path
+	// counts as "reaches exit avoiding close()".
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("the panic path must count as leaving without close()")
+	}
+}
+
+func TestCFGCollectsDefers(t *testing.T) {
+	src := `package p
+func close() {}
+func f() {
+	defer close()
+	defer func() { close() }()
+}`
+	_, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	if len(cfg.Defers) != 2 {
+		t.Errorf("got %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGAvoidIgnoresNestedFuncLit(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func run(fn func()) { fn() }
+func f() {
+	open()
+	run(func() { close() })
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("a close() inside a function literal must not count as closing this path")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	src := `package p
+func open() {}
+func close() {}
+func visit(v int) {}
+func f(xs []int) {
+	open()
+	for _, v := range xs {
+		visit(v)
+	}
+	close()
+}`
+	fset, fd := parseFunc(t, src, "f")
+	cfg := BuildCFG(fd.Body)
+	opener := findCall(t, fset, fd, src, "open()")
+	if cfg.CanReachExitAvoiding(opener, avoidCalls("close")) {
+		t.Error("the empty-range path still passes close()")
+	}
+	if !cfg.CanReachExitAvoiding(opener, avoidCalls("visit")) {
+		t.Error("an empty range must reach exit without visit()")
+	}
+}

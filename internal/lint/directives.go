@@ -13,12 +13,27 @@ import (
 //
 // The directive form is //lint:<tag> where <tag> is an analyzer's
 // suppression tag (e.g. shared-ok for sharedwrite and atomicpair,
-// narrow-ok for indexarith, grain-ok for grainloop). A directive
-// suppresses findings of its analyzers on the directive's own line and
-// on the line directly below it (so it can sit on its own line above a
-// multi-line statement). Everything after the tag is free-form
-// rationale and is ignored by the tool — but reviewers should treat a
-// tag without rationale as a smell.
+// narrow-ok for indexarith, alloc-ok for hotalloc). Everything after
+// the tag is free-form rationale and is ignored by the tool — but
+// reviewers should treat a tag without rationale as a smell.
+//
+// Scoping: a directive attaches to exactly one statement, declaration,
+// spec, or field — the outermost one that starts on the directive's
+// own line before the comment (trailing form), or, failing that, the
+// outermost one that starts on the line directly below (above form,
+// for multi-line statements). The suppression covers that node's full
+// source span and nothing else. A directive that attaches to no node —
+// trailing a closing brace, sitting at the end of a file — suppresses
+// nothing; it is dead, not a wildcard. (The old line-based scheme
+// silenced whatever happened to start on the next line, which let a
+// file-trailing directive eat unrelated diagnostics.)
+//
+// Two marker directives are not suppressions but annotations the
+// dataflow analyzers consume: //lint:hot marks a function as hot-path
+// (a hotalloc root) and //lint:boundary marks a function as an error
+// boundary (a faulterr root). Markers attach to a function declaration
+// or literal via the same trailing/above rules, or anywhere in a
+// declaration's doc comment.
 
 // directivePrefix introduces a suppression comment.
 const directivePrefix = "//lint:"
@@ -28,68 +43,223 @@ const directivePrefix = "//lint:"
 // atomicpair both police shared-memory discipline, so one shared-ok
 // covers whichever fires.
 var analyzerTags = map[string]string{
-	"sharedwrite": "shared-ok",
-	"atomicpair":  "shared-ok",
-	"indexarith":  "narrow-ok",
-	"grainloop":   "grain-ok",
-	"ctxcheck":    "ctx-ok",
+	"sharedwrite":   "shared-ok",
+	"atomicpair":    "shared-ok",
+	"indexarith":    "narrow-ok",
+	"grainloop":     "grain-ok",
+	"ctxcheck":      "ctx-ok",
+	"hotalloc":      "alloc-ok",
+	"obsdiscipline": "obs-ok",
+	"faulterr":      "fault-ok",
 }
 
-// suppressions indexes directive sites by file and line.
+// Marker tags recognized by funcMarkers.
+const (
+	markerHot      = "hot"
+	markerBoundary = "boundary"
+)
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	comment *ast.Comment
+	tag     string
+	line    int
+	file    string
+}
+
+// parseDirective extracts the tag of a //lint: comment, or "".
+func parseDirective(text string) string {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// fileDirectives collects every //lint: comment of one file.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			tag := parseDirective(c.Text)
+			if tag == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out = append(out, directive{comment: c, tag: tag, line: pos.Line, file: pos.Filename})
+		}
+	}
+	return out
+}
+
+// suppSpan is one attached directive: the node's source span plus the
+// tags suppressed inside it.
+type suppSpan struct {
+	start, end token.Pos
+	tags       map[string]bool
+}
+
+// suppressions holds every attached directive span of one package.
 type suppressions struct {
-	// byFileLine maps filename -> line -> set of suppressed tags.
-	byFileLine map[string]map[int]map[string]bool
+	spans []suppSpan
 }
 
-// collectSuppressions scans all comments in the files for directives.
+// anchorCandidate reports whether n is a node a directive may attach
+// to: a statement (but not a bare block), declaration, spec, or struct
+// field.
+func anchorCandidate(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.BlockStmt:
+		return false
+	case ast.Stmt, ast.Decl, ast.Spec, *ast.Field:
+		return true
+	}
+	return false
+}
+
+// attachTo finds the nodes a directive anchors to, or nil. Trailing
+// form wins over above form; within a form, outermost starting nodes
+// win (annotating a `for` line annotates the whole loop), and sibling
+// statements sharing the annotated line are all covered.
+func attachTo(fset *token.FileSet, f *ast.File, d directive) []ast.Node {
+	var trailing, above []ast.Node
+	contained := func(set []ast.Node, n ast.Node) bool {
+		for _, o := range set {
+			if o.Pos() <= n.Pos() && n.End() <= o.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// ownLine: no code precedes the comment on its line. A directive
+	// trailing something that is not an anchor (a closing brace, say)
+	// must die rather than fall through to the next line's statement.
+	ownLine := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.End() <= d.comment.Pos() && fset.Position(n.End()).Line == d.line {
+			ownLine = false
+		}
+		if !anchorCandidate(n) {
+			return true
+		}
+		line := fset.Position(n.Pos()).Line
+		switch {
+		case line == d.line && n.Pos() < d.comment.Pos():
+			if !contained(trailing, n) { // Inspect visits outermost first
+				trailing = append(trailing, n)
+			}
+		case line == d.line+1:
+			if !contained(above, n) {
+				above = append(above, n)
+			}
+		}
+		return true
+	})
+	if trailing != nil {
+		return trailing
+	}
+	if !ownLine {
+		return nil
+	}
+	return above
+}
+
+// collectSuppressions scans all comments in the files for directives
+// and resolves each to its anchored node span.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
-	s := &suppressions{byFileLine: make(map[string]map[int]map[string]bool)}
+	s := &suppressions{}
 	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				if !strings.HasPrefix(text, directivePrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(text, directivePrefix)
-				tag := rest
-				if i := strings.IndexAny(rest, " \t"); i >= 0 {
-					tag = rest[:i]
-				}
-				if tag == "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				lines := s.byFileLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					s.byFileLine[pos.Filename] = lines
-				}
-				// The directive covers its own line and the next one.
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					tags := lines[line]
-					if tags == nil {
-						tags = make(map[string]bool)
-						lines[line] = tags
-					}
-					tags[tag] = true
-				}
+		for _, d := range fileDirectives(fset, f) {
+			nodes := attachTo(fset, f, d)
+			if len(nodes) == 0 {
+				continue // dangling directive: suppresses nothing
+			}
+			for _, node := range nodes {
+				s.add(node.Pos(), node.End(), d.tag)
 			}
 		}
 	}
 	return s
 }
 
+func (s *suppressions) add(start, end token.Pos, tag string) {
+	for i := range s.spans {
+		sp := &s.spans[i]
+		if sp.start == start && sp.end == end {
+			sp.tags[tag] = true
+			return
+		}
+	}
+	s.spans = append(s.spans, suppSpan{start: start, end: end, tags: map[string]bool{tag: true}})
+}
+
 // matches reports whether a directive suppresses analyzer findings at
 // the given position.
-func (s *suppressions) matches(analyzer string, pos token.Position) bool {
+func (s *suppressions) matches(analyzer string, pos token.Pos) bool {
 	tag, ok := analyzerTags[analyzer]
 	if !ok {
 		return false
 	}
-	lines, ok := s.byFileLine[pos.Filename]
-	if !ok {
-		return false
+	for i := range s.spans {
+		sp := &s.spans[i]
+		if sp.start <= pos && pos <= sp.end && sp.tags[tag] {
+			return true
+		}
 	}
-	return lines[pos.Line][tag]
+	return false
+}
+
+// funcMarkers returns the function declarations and literals annotated
+// with the given marker tag (//lint:hot, //lint:boundary). A marker
+// counts when it trails the function's opening line, sits on the line
+// directly above it, or appears anywhere in a declaration's doc
+// comment.
+func funcMarkers(pass *Pass, tag string) map[ast.Node]bool {
+	marked := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		var dirs []directive
+		for _, d := range fileDirectives(pass.Fset, f) {
+			if d.tag == tag {
+				dirs = append(dirs, d)
+			}
+		}
+		if len(dirs) == 0 {
+			continue
+		}
+		lines := make(map[int]bool, len(dirs))
+		commentPos := make(map[int]token.Pos, len(dirs))
+		for _, d := range dirs {
+			lines[d.line] = true
+			commentPos[d.line] = d.comment.Pos()
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				startLine := pass.Fset.Position(fn.Pos()).Line
+				if (lines[startLine] && fn.Pos() < commentPos[startLine]) || lines[startLine-1] {
+					marked[fn] = true
+				}
+				if fn.Doc != nil {
+					for _, c := range fn.Doc.List {
+						if parseDirective(c.Text) == tag {
+							marked[fn] = true
+						}
+					}
+				}
+			case *ast.FuncLit:
+				startLine := pass.Fset.Position(fn.Pos()).Line
+				if (lines[startLine] && fn.Pos() < commentPos[startLine]) || lines[startLine-1] {
+					marked[fn] = true
+				}
+			}
+			return true
+		})
+	}
+	return marked
 }

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// suppressionsFor parses src and collects its directive spans.
+func suppressionsFor(t *testing.T, src string) (*token.FileSet, *ast.File, *suppressions) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dirtest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f, collectSuppressions(fset, []*ast.File{f})
+}
+
+// posOnLine returns a token.Pos somewhere on the given 1-based line.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line) + 1
+}
+
+func TestDirectiveTrailingAttachesToStatement(t *testing.T) {
+	src := `package p
+var x []int
+func f(v, u int) {
+	x[v] = u //lint:shared-ok single writer
+	x[u] = v
+}`
+	fset, f, sup := suppressionsFor(t, src)
+	if !sup.matches("sharedwrite", posOnLine(fset, f, 4)) {
+		t.Error("directive must suppress on its own statement's line")
+	}
+	if sup.matches("sharedwrite", posOnLine(fset, f, 5)) {
+		t.Error("directive must not leak onto the next statement")
+	}
+}
+
+func TestDirectiveAboveCoversMultiLineStatement(t *testing.T) {
+	src := `package p
+func g(a, b, c int) int { return a }
+func f(a, b, c int) int {
+	//lint:narrow-ok bounded by config
+	return g(a,
+		b,
+		c)
+}`
+	fset, f, sup := suppressionsFor(t, src)
+	for line := 5; line <= 7; line++ {
+		if !sup.matches("indexarith", posOnLine(fset, f, line)) {
+			t.Errorf("directive above a multi-line statement must cover line %d", line)
+		}
+	}
+	if sup.matches("indexarith", posOnLine(fset, f, 2)) {
+		t.Error("directive must not cover unrelated declarations")
+	}
+}
+
+// The regression the rework exists for: a directive dangling at the end
+// of a file (or trailing a closing brace) attaches to nothing and so
+// suppresses nothing. Under the old line-based scheme it silenced
+// whatever code happened to sit on the neighboring line.
+func TestDirectiveFileTrailingIsDead(t *testing.T) {
+	src := `package p
+var x []int
+func f(v, u int) {
+	x[v] = u
+}
+
+//lint:shared-ok stale comment left behind by a refactor`
+	fset, f, sup := suppressionsFor(t, src)
+	if sup.matches("sharedwrite", posOnLine(fset, f, 4)) {
+		t.Error("a file-trailing directive must not silence earlier code")
+	}
+	if len(sup.spans) != 0 {
+		t.Errorf("dangling directive produced %d spans, want 0", len(sup.spans))
+	}
+}
+
+func TestDirectiveTrailingClosingBraceIsDead(t *testing.T) {
+	src := `package p
+var x []int
+func f(v, u int) {
+	if v > 0 {
+		x[v] = u
+	} //lint:shared-ok does not attach: no statement starts on this line
+	x[u] = v
+}`
+	fset, f, sup := suppressionsFor(t, src)
+	if sup.matches("sharedwrite", posOnLine(fset, f, 5)) {
+		t.Error("a brace-trailing directive must not cover the if body")
+	}
+	if sup.matches("sharedwrite", posOnLine(fset, f, 7)) {
+		t.Error("a brace-trailing directive must not cover the following statement")
+	}
+}
+
+func TestDirectiveTagIsolation(t *testing.T) {
+	src := `package p
+var x []int
+func f(v, u int) {
+	x[v] = u //lint:narrow-ok wrong tag for sharedwrite
+}`
+	fset, f, sup := suppressionsFor(t, src)
+	if sup.matches("sharedwrite", posOnLine(fset, f, 4)) {
+		t.Error("a narrow-ok directive must not suppress sharedwrite")
+	}
+	if !sup.matches("indexarith", posOnLine(fset, f, 4)) {
+		t.Error("the narrow-ok directive must suppress indexarith")
+	}
+}
+
+func TestDirectiveSharedTagCoversBothAnalyzers(t *testing.T) {
+	src := `package p
+var x []int
+func f(v, u int) {
+	x[v] = u //lint:shared-ok phase argument
+}`
+	fset, f, sup := suppressionsFor(t, src)
+	for _, analyzer := range []string{"sharedwrite", "atomicpair"} {
+		if !sup.matches(analyzer, posOnLine(fset, f, 4)) {
+			t.Errorf("shared-ok must suppress %s", analyzer)
+		}
+	}
+}
+
+func TestFuncMarkers(t *testing.T) {
+	src := `package p
+
+// frontierSum is the hot per-level reduction.
+//
+//lint:hot
+func frontierSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+//lint:hot
+func aboveForm() {}
+
+func notMarked() {}
+
+func host() {
+	fn := func() { //lint:hot
+	}
+	fn()
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "marktest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pass := &Pass{Analyzer: &Analyzer{Name: "test"}, Fset: fset, Files: []*ast.File{f}}
+	marked := funcMarkers(pass, markerHot)
+
+	names := make(map[string]bool)
+	var litMarked bool
+	for n := range marked {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			names[fn.Name.Name] = true
+		case *ast.FuncLit:
+			litMarked = true
+		}
+	}
+	for _, want := range []string{"frontierSum", "aboveForm"} {
+		if !names[want] {
+			t.Errorf("%s must be marked hot", want)
+		}
+	}
+	if names["notMarked"] || names["host"] {
+		t.Errorf("unmarked functions leaked into the marker set: %v", names)
+	}
+	if !litMarked {
+		t.Error("the trailing-form literal must be marked hot")
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestFaultErrGolden(t *testing.T) {
+	runGolden(t, FaultErr, "faulterr")
+}

@@ -44,44 +44,127 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
+// goListEntry is one memoized listing together with the fingerprint of
+// the file sets it was computed from, so a stale entry is detectable.
+type goListEntry struct {
+	pkgs []*listedPackage
+	fp   string
+}
+
 // goListCache memoizes goList results process-wide. Every analyzer run
 // and every analysistest package pays a `go list -export -deps` on the
-// same module otherwise — by far the slowest part of a lint pass — and
-// the listing is stable within one process lifetime (the lint binary
-// and the test binary both run against a fixed source tree).
+// same module otherwise — by far the slowest part of a lint pass. The
+// listing is usually stable within one process lifetime, but editors
+// and tests do rewrite files between Load calls, so every hit is
+// revalidated against a cheap fingerprint of the target directories
+// (file names, sizes, mtimes) — stat calls instead of a build-system
+// invocation.
 var goListCache = struct {
 	sync.Mutex
-	entries      map[string][]*listedPackage
-	hits, misses int
-}{entries: make(map[string][]*listedPackage)}
+	entries                     map[string]*goListEntry
+	hits, misses, invalidations int
+}{entries: make(map[string]*goListEntry)}
 
-// GoListCacheStats reports the loader cache's hit/miss counts, for
-// tests and -debug output.
-func GoListCacheStats() (hits, misses int) {
+// GoListCacheStats reports the loader cache's hit/miss/invalidation
+// counts, for tests and -debug output. An invalidation is a key that
+// was present but whose fingerprint no longer matched the file sets on
+// disk; it is also counted as a miss, since the listing re-runs.
+func GoListCacheStats() (hits, misses, invalidations int) {
 	goListCache.Lock()
 	defer goListCache.Unlock()
-	return goListCache.hits, goListCache.misses
+	return goListCache.hits, goListCache.misses, goListCache.invalidations
+}
+
+// fingerprintTargets condenses the identity of the .go file sets behind
+// a listing into a comparable string: for the query root and every
+// analyzed (non-dependency) package directory, the sorted file names
+// with sizes and mtimes, plus the root's immediate subdirectory names
+// so a freshly created package directory is noticed too. Dependency
+// packages are deliberately excluded — their staleness is the build
+// cache's problem, and re-stating GOROOT on every Load would cost more
+// than the memoization saves.
+func fingerprintTargets(root string, pkgs []*listedPackage) string {
+	dirs := map[string]bool{root: true}
+	for _, p := range pkgs {
+		if !p.DepOnly && !p.Standard && p.Dir != "" {
+			dirs[p.Dir] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var b strings.Builder
+	for _, d := range sorted {
+		b.WriteString(d)
+		b.WriteByte('\x00')
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			// An unreadable directory still fingerprints
+			// deterministically; the next Load will fail loudly in
+			// go list instead.
+			fmt.Fprintf(&b, "!%v\x00", err)
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				if d == root {
+					fmt.Fprintf(&b, "dir:%s\x00", e.Name())
+				}
+				continue
+			}
+			if filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				fmt.Fprintf(&b, "%s!%v\x00", e.Name(), err)
+				continue
+			}
+			fmt.Fprintf(&b, "%s:%d:%d\x00", e.Name(), info.Size(), info.ModTime().UnixNano())
+		}
+	}
+	return b.String()
 }
 
 // goList returns `go list -export -deps -json` output for the patterns
-// inside dir, memoized process-wide. Callers must treat the result as
-// read-only — it is shared across calls.
+// inside dir, memoized process-wide. Hits are revalidated against the
+// on-disk file sets; an edited, added, or removed .go file under any
+// target directory forces a fresh listing. Callers must treat the
+// result as read-only — it is shared across calls.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	key := dir + "\x00" + strings.Join(patterns, "\x00")
 	goListCache.Lock()
-	if pkgs, ok := goListCache.entries[key]; ok {
-		goListCache.hits++
+	entry, ok := goListCache.entries[key]
+	goListCache.Unlock()
+	if ok {
+		// Fingerprint outside the lock: it stats directories, and
+		// concurrent Loads of distinct keys shouldn't serialize on it.
+		if fingerprintTargets(dir, entry.pkgs) == entry.fp {
+			goListCache.Lock()
+			goListCache.hits++
+			goListCache.Unlock()
+			return entry.pkgs, nil
+		}
+		goListCache.Lock()
+		goListCache.invalidations++
+		delete(goListCache.entries, key)
 		goListCache.Unlock()
-		return pkgs, nil
 	}
+	goListCache.Lock()
 	goListCache.misses++
 	goListCache.Unlock()
 	pkgs, err := runGoList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	// Fingerprint after listing, so changes that land mid-listing
+	// surface as an invalidation on the next call rather than being
+	// masked forever.
+	fp := fingerprintTargets(dir, pkgs)
 	goListCache.Lock()
-	goListCache.entries[key] = pkgs
+	goListCache.entries[key] = &goListEntry{pkgs: pkgs, fp: fp}
 	goListCache.Unlock()
 	return pkgs, nil
 }

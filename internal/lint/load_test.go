@@ -36,11 +36,11 @@ func TestGoListCacheMemoizes(t *testing.T) {
 		t.Skip("invokes the go build system")
 	}
 	root := modRoot(t)
-	h0, m0 := GoListCacheStats()
+	h0, m0, _ := GoListCacheStats()
 	if _, err := Load(root, "crossbfs/internal/bitmap"); err != nil {
 		t.Fatal(err)
 	}
-	h1, m1 := GoListCacheStats()
+	h1, m1, _ := GoListCacheStats()
 	if m1 != m0+1 || h1 != h0 {
 		t.Fatalf("first load: hits %d->%d misses %d->%d, want one new miss", h0, h1, m0, m1)
 	}
@@ -49,7 +49,7 @@ func TestGoListCacheMemoizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	cached := time.Since(start)
-	h2, m2 := GoListCacheStats()
+	h2, m2, _ := GoListCacheStats()
 	if h2 != h1+1 || m2 != m1 {
 		t.Fatalf("second load: hits %d->%d misses %d->%d, want one new hit", h1, h2, m1, m2)
 	}
@@ -57,10 +57,67 @@ func TestGoListCacheMemoizes(t *testing.T) {
 	if _, err := Load(root, "crossbfs/internal/bitmap", "crossbfs/internal/obs"); err != nil {
 		t.Fatal(err)
 	}
-	if _, m3 := GoListCacheStats(); m3 != m2+1 {
+	if _, m3, _ := GoListCacheStats(); m3 != m2+1 {
 		t.Fatalf("distinct pattern set did not miss (misses %d -> %d)", m2, m3)
 	}
 	t.Logf("cached Load took %v", cached)
+}
+
+// TestGoListCacheInvalidatesOnFileChange pins the staleness contract:
+// memoization must never outlive the file set it described. A package
+// edited between two Load calls — the analysistest loop's exact shape,
+// and any editor-integration's — has to be re-listed, and the new file
+// must show up in the loaded package.
+func TestGoListCacheInvalidatesOnFileChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go build system")
+	}
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpcache\n\ngo 1.22\n")
+	write("a.go", "package tmpcache\n\n// A is the seed declaration.\nfunc A() int { return 1 }\n")
+
+	h0, m0, i0 := GoListCacheStats()
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("seed load: got %d packages / %d files, want 1/1", len(pkgs), len(pkgs[0].Files))
+	}
+	if _, m1, i1 := GoListCacheStats(); m1 != m0+1 || i1 != i0 {
+		t.Fatalf("seed load: misses %d->%d invalidations %d->%d, want one clean miss", m0, m1, i0, i1)
+	}
+
+	// Unchanged files: the fingerprint matches and the entry is reused.
+	if _, err := Load(dir, "./..."); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2, i2 := GoListCacheStats()
+	if h2 != h0+1 || m2 != m0+1 || i2 != i0 {
+		t.Fatalf("warm load: hits %d->%d misses +%d invalidations +%d, want one hit", h0, h2, m2-m0, i2-i0)
+	}
+
+	// A new file in the cached package must invalidate the entry and
+	// surface in the reloaded file set.
+	write("b.go", "package tmpcache\n\n// B arrived after the first listing.\nfunc B() int { return A() + 1 }\n")
+	pkgs, err = Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 2 {
+		t.Fatalf("post-edit load: got %d packages / %d files, want 1/2", len(pkgs), len(pkgs[0].Files))
+	}
+	h3, m3, i3 := GoListCacheStats()
+	if h3 != h2 || m3 != m2+1 || i3 != i2+1 {
+		t.Fatalf("post-edit load: hits %d->%d misses %d->%d invalidations %d->%d, want one invalidating miss",
+			h2, h3, m2, m3, i2, i3)
+	}
 }
 
 // TestRunTimedReportsEveryAnalyzer checks the -debug data source: one

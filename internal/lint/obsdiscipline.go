@@ -1,0 +1,455 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ObsDiscipline polices the telemetry contract between emitters (the
+// engines, the simulator, the resilient executor) and consumers
+// (TraceWriter, ValidateTrace, the golden trace):
+//
+//   - Paired begin/end: a function that opens an event group — emits
+//     KindTraversalStart/KindPlanStart, or calls an opener helper like
+//     observeStart — must close it on every exit path, and the closer
+//     must sit in a defer so a panic between start and end still
+//     delivers the end event. (A trailing `if live { ...End... }` is
+//     exactly the shape that drops end events on early returns and
+//     panics; the CFG distinguishes that from a merely-undeferred
+//     closer to pick the sharper message.)
+//   - Explicit kinds: an Event composite literal must set Kind —
+//     the zero value is KindTraversalStart, so forgetting the field
+//     silently emits a spurious traversal open.
+//   - Registered kinds: every kind constant an emitter references must
+//     be in this analyzer's registry of kinds the trace encoder and
+//     ValidateTrace understand (registeredKinds below, kept fresh by
+//     TestRegisteredKindsFresh against obs.Kind.String). A new kind
+//     that is not wired through the consumers would be dropped or
+//     mis-categorized silently.
+//   - Exhaustive dispatch: inside the package that declares Kind, a
+//     switch over a Kind value with no default must name every
+//     declared kind — this is what catches "added a Kind, forgot the
+//     trace encoder case".
+//
+// Suppress with //lint:obs-ok and a rationale.
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc: "checks telemetry discipline: begin/end event pairing with defer-protected closers, " +
+		"explicit and registered Event kinds, exhaustive Kind switches in the obs package; " +
+		"suppress with //lint:obs-ok",
+	Run: runObsDiscipline,
+}
+
+// registeredKinds is the set of event kinds the trace encoder
+// (laneState.event) and ValidateTrace understand. An emitter
+// referencing a kind outside this set is publishing events the
+// consumers drop or mislabel. TestRegisteredKindsFresh pins this
+// table to obs.Kind's actual constant block.
+var registeredKinds = map[string]bool{
+	"KindTraversalStart": true,
+	"KindLevel":          true,
+	"KindSwitch":         true,
+	"KindTraversalEnd":   true,
+	"KindRootDispatch":   true,
+	"KindRootDone":       true,
+	"KindPlanStart":      true,
+	"KindSimStep":        true,
+	"KindHandoff":        true,
+	"KindPlanEnd":        true,
+	"KindRetry":          true,
+	"KindReplan":         true,
+	"KindFault":          true,
+}
+
+// openerPairs maps each group-opening kind to its required closer.
+var openerPairs = map[string]string{
+	"KindTraversalStart": "KindTraversalEnd",
+	"KindPlanStart":      "KindPlanEnd",
+}
+
+// obsLikePkgs memoizes which packages carry an obs-shaped Event/Kind
+// pair, per pass (the analyzer is re-entered per package).
+type obsCtx struct {
+	pass  *Pass
+	like  map[*types.Package]bool
+	kinds map[*types.Package]*types.Named // the package's Kind type
+}
+
+// qualifies reports whether p declares the obs shape: a Kind type, at
+// least one Kind*-named constant of it, and an Event struct with a
+// Kind field of it. This keeps fault.Event (whose kind constants are
+// DeviceCrash/LinkTransient/...) out of scope.
+func (c *obsCtx) qualifies(p *types.Package) bool {
+	if p == nil {
+		return false
+	}
+	if v, ok := c.like[p]; ok {
+		return v
+	}
+	c.like[p] = false // provisional; flipped below when the shape matches
+	scope := p.Scope()
+	kindObj, _ := scope.Lookup("Kind").(*types.TypeName)
+	evtObj, _ := scope.Lookup("Event").(*types.TypeName)
+	if kindObj == nil || evtObj == nil {
+		return false
+	}
+	kindType, ok := kindObj.Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	hasKindConst := false
+	for _, name := range scope.Names() {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok &&
+			strings.HasPrefix(name, "Kind") && types.Identical(cst.Type(), kindType) {
+			hasKindConst = true
+			break
+		}
+	}
+	if !hasKindConst {
+		return false
+	}
+	st, ok := evtObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Kind" && types.Identical(f.Type(), kindType) {
+			c.like[p] = true
+			c.kinds[p] = kindType
+			return true
+		}
+	}
+	return false
+}
+
+// eventLit reports whether the composite literal builds an obs-shaped
+// Event value.
+func (c *obsCtx) eventLit(lit *ast.CompositeLit) bool {
+	named, ok := c.pass.TypeOf(lit).(*types.Named)
+	if !ok || named.Obj().Name() != "Event" {
+		return false
+	}
+	return c.qualifies(named.Obj().Pkg())
+}
+
+// litKindConst resolves the Kind value of an Event literal to its
+// constant name, or "" (absent, or not a plain constant reference).
+func (c *obsCtx) litKindConst(lit *ast.CompositeLit) (string, bool) {
+	var val ast.Expr
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+				val = kv.Value
+			}
+		}
+	}
+	if val == nil && len(lit.Elts) > 0 {
+		if _, positional := lit.Elts[0].(*ast.KeyValueExpr); !positional {
+			val = lit.Elts[0] // positional literal: Kind is field 0
+		}
+	}
+	if val == nil {
+		return "", false
+	}
+	var id *ast.Ident
+	switch x := ast.Unparen(val).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", true // computed kind: present but unresolvable
+	}
+	if cst, ok := c.pass.ObjectOf(id).(*types.Const); ok {
+		return cst.Name(), true
+	}
+	return "", true
+}
+
+func runObsDiscipline(pass *Pass) error {
+	ctx := &obsCtx{
+		pass:  pass,
+		like:  make(map[*types.Package]bool),
+		kinds: make(map[*types.Package]*types.Named),
+	}
+	g := BuildCallGraph(pass)
+
+	// Literal-level checks: explicit Kind, registered Kind.
+	inspectAll(pass, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !ctx.eventLit(lit) {
+			return true
+		}
+		name, present := ctx.litKindConst(lit)
+		if !present {
+			pass.Reportf(lit.Pos(),
+				"obs.Event literal without an explicit Kind: the zero value is KindTraversalStart, "+
+					"so this silently opens a traversal; set Kind or annotate //lint:obs-ok")
+			return true
+		}
+		if name != "" && strings.HasPrefix(name, "Kind") && !registeredKinds[name] {
+			pass.Reportf(lit.Pos(),
+				"event kind %s is not registered with the trace consumers (trace encoder, "+
+					"ValidateTrace, golden trace); wire it through internal/obs or annotate //lint:obs-ok", name)
+		}
+		return true
+	})
+
+	// Pairing per function.
+	for _, node := range g.Nodes {
+		checkPairing(pass, ctx, g, node)
+	}
+
+	// Exhaustive Kind switches in the declaring package.
+	checkKindSwitches(pass, ctx)
+	return nil
+}
+
+// openerHelper reports whether fn's first result type carries an
+// end/End method — the observeStart shape: such a function opens the
+// group on behalf of its caller, and the caller owns the closer.
+func openerHelper(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Type.Results == nil || len(decl.Type.Results.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(decl.Type.Results.List[0].Type)
+	return t != nil && hasEndMethod(pass, t)
+}
+
+// hasEndMethod looks for a closer-shaped method: named end/End with no
+// results. The no-results requirement matters — it is what separates a
+// telemetry closer (tobs.end emits and returns nothing) from accessors
+// like ast.Node.End() token.Pos, which would otherwise make every
+// AST-returning function an "opener helper".
+func hasEndMethod(pass *Pass, t types.Type) bool {
+	closerShaped := func(obj types.Object) bool {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Results().Len() == 0
+	}
+	for _, name := range []string{"end", "End"} {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, name); closerShaped(obj) {
+			return true
+		}
+		if named, ok := t.(*types.Named); ok {
+			if obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pass.Pkg, name); closerShaped(obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// opener describes one group-opening site in a function body.
+type opener struct {
+	node    ast.Node // the literal or call expression
+	endKind string   // required closer kind ("" = end-method call suffices)
+	what    string   // for diagnostics
+}
+
+// checkPairing enforces begin/end discipline in one function.
+func checkPairing(pass *Pass, ctx *obsCtx, g *CallGraph, node *CGNode) {
+	body := node.Body()
+	if body == nil {
+		return
+	}
+	if node.Decl != nil && openerHelper(pass, node.Decl) {
+		return // observeStart shape: the caller owns the closer
+	}
+
+	var openers []opener
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals are their own graph nodes
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if ctx.eventLit(x) {
+				if name, ok := ctx.litKindConst(x); ok {
+					if end, isOpener := openerPairs[name]; isOpener {
+						openers = append(openers, opener{node: x, endKind: end, what: name})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// A same-package call into an opener helper opens the group
+			// here; its handle's end/End call is the closer.
+			for _, callee := range resolveCallTargets(pass, g, x) {
+				if callee.Decl != nil && openerHelper(pass, callee.Decl) {
+					openers = append(openers, opener{node: x, what: callee.Name})
+				}
+			}
+		}
+		return true
+	})
+	if len(openers) == 0 {
+		return
+	}
+
+	isCloser := func(endKind string) func(ast.Node) bool {
+		return func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if endKind != "" && ctx.eventLit(x) {
+					name, _ := ctx.litKindConst(x)
+					return name == endKind
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "end" || sel.Sel.Name == "End" {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+
+	cfg := BuildCFG(body)
+	for _, op := range openers {
+		closer := isCloser(op.endKind)
+		deferred := false
+		for _, d := range cfg.Defers {
+			// Scan the whole defer subtree including closures: a
+			// deferred func(){ o.end(...) }() runs on every exit.
+			ast.Inspect(d, func(n ast.Node) bool {
+				if n != nil && closer(n) {
+					deferred = true
+				}
+				return !deferred
+			})
+			if deferred {
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		hasCloser := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if n != nil && closer(n) {
+				hasCloser = true
+			}
+			return !hasCloser
+		})
+		switch {
+		case !hasCloser:
+			pass.Reportf(op.node.Pos(),
+				"%s opens an event group but %s never emits its end event; "+
+					"register a deferred closer or annotate //lint:obs-ok", op.what, node.Name)
+		case cfg.CanReachExitAvoiding(op.node, closer):
+			pass.Reportf(op.node.Pos(),
+				"%s opens an event group but a path through %s exits without the end event "+
+					"(early return, panic, or a gated trailing closer); move the closer into a "+
+					"defer or annotate //lint:obs-ok", op.what, node.Name)
+		default:
+			pass.Reportf(op.node.Pos(),
+				"%s opens an event group but the end emission in %s is not defer-protected: "+
+					"a panic between start and end loses the closer; move it into a defer "+
+					"or annotate //lint:obs-ok", op.what, node.Name)
+		}
+	}
+}
+
+// resolveCallTargets is resolveCall without the implIndex fan-out:
+// direct same-package callees only, which is all the opener-helper
+// check needs.
+func resolveCallTargets(pass *Pass, g *CallGraph, call *ast.CallExpr) []*CGNode {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if n := g.NodeForFunc(fn); n != nil {
+		return []*CGNode{n}
+	}
+	return nil
+}
+
+// checkKindSwitches enforces exhaustive kind dispatch inside the
+// package that declares Kind.
+func checkKindSwitches(pass *Pass, ctx *obsCtx) {
+	if !ctx.qualifies(pass.Pkg) {
+		return
+	}
+	kindType := ctx.kinds[pass.Pkg]
+
+	// All declared constants of the Kind type.
+	all := make(map[string]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(cst.Type(), kindType) {
+			all[name] = true
+		}
+	}
+
+	inspectAll(pass, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := pass.TypeOf(sw.Tag)
+		if tagType == nil || !types.Identical(tagType, kindType) {
+			return true
+		}
+		covered := make(map[string]bool)
+		hasDefault := false
+		for _, clause := range sw.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				var id *ast.Ident
+				switch x := ast.Unparen(e).(type) {
+				case *ast.Ident:
+					id = x
+				case *ast.SelectorExpr:
+					id = x.Sel
+				}
+				if id != nil {
+					if cst, ok := pass.ObjectOf(id).(*types.Const); ok {
+						covered[cst.Name()] = true
+					}
+				}
+			}
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for name := range all {
+			if !covered[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Pos(),
+				"switch over %s has no default and misses %s: a new event kind would fall "+
+					"through the trace consumers silently; add the cases or annotate //lint:obs-ok",
+				kindType.Obj().Name(), strings.Join(missing, ", "))
+		}
+		return true
+	})
+}

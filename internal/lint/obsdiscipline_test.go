@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"testing"
+
+	"crossbfs/internal/obs"
+)
+
+func TestObsDisciplineGolden(t *testing.T) {
+	runGolden(t, ObsDiscipline, "obsdiscipline")
+}
+
+func TestObsDisciplineSchemaGolden(t *testing.T) {
+	runGolden(t, ObsDiscipline, "obsschema")
+}
+
+// TestRegisteredKindsFresh pins the analyzer's kind registry to the
+// real obs.Kind constant block: every declared kind has a String()
+// case ("unknown" marks the end of the block), and the registry must
+// list exactly that many names. Adding a Kind to internal/obs without
+// updating registeredKinds — or vice versa — fails here.
+func TestRegisteredKindsFresh(t *testing.T) {
+	declared := 0
+	for obs.Kind(declared).String() != "unknown" {
+		declared++
+		if declared > 256 {
+			t.Fatal("obs.Kind.String never returns \"unknown\"; the sentinel contract is broken")
+		}
+	}
+	if declared != len(registeredKinds) {
+		t.Fatalf("obs declares %d event kinds but the obsdiscipline registry lists %d; "+
+			"update registeredKinds in internal/lint/obsdiscipline.go (and the trace "+
+			"consumers) when adding a kind", declared, len(registeredKinds))
+	}
+}

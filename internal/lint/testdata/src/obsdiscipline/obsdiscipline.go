@@ -1,0 +1,147 @@
+// Package obsdiscipline is the golden test for the obsdiscipline
+// analyzer: begin/end event pairing with defer-protected closers,
+// explicit and registered Event kinds. The package mirrors the obs
+// shape (Kind type, Kind* constants, flat Event struct, Recorder) so
+// the analyzer's structural matching applies without importing the
+// real telemetry layer.
+package obsdiscipline
+
+import "errors"
+
+// Kind discriminates events, mirroring obs.Kind.
+type Kind uint8
+
+const (
+	KindTraversalStart Kind = iota
+	KindLevel
+	KindTraversalEnd
+	KindPlanStart
+	KindPlanEnd
+	// KindShadowStep is deliberately NOT in the analyzer's registry:
+	// it mimics a kind added without wiring the trace consumers.
+	KindShadowStep
+)
+
+// Event mirrors obs.Event: a flat value struct whose zero Kind is
+// KindTraversalStart.
+type Event struct {
+	Kind   Kind
+	Step   int
+	Detail string
+}
+
+// Recorder mirrors obs.Recorder.
+type Recorder interface {
+	Event(e Event)
+}
+
+// handle mirrors bfs.tobs: an opener helper's return value whose end
+// method closes the group.
+type handle struct {
+	rec  Recorder
+	live bool
+}
+
+// observeStart mirrors the real opener helper: it emits the start
+// event and hands the closer to its caller — the analyzer must not
+// demand an end event here.
+func observeStart(rec Recorder) handle {
+	h := handle{rec: rec, live: rec != nil}
+	if !h.live {
+		return h
+	}
+	h.rec.Event(Event{Kind: KindTraversalStart})
+	return h
+}
+
+func (h *handle) end(err error) {
+	if !h.live {
+		return
+	}
+	e := Event{Kind: KindTraversalEnd}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	h.rec.Event(e)
+}
+
+func work(step int) error {
+	if step > 3 {
+		return errors.New("too deep")
+	}
+	return nil
+}
+
+// goodDeferredHelper is the blessed shape: opener helper plus a
+// deferred end, registered before the fallible body.
+func goodDeferredHelper(rec Recorder) (err error) {
+	h := observeStart(rec)
+	defer func() { h.end(err) }()
+	for step := 1; step <= 4; step++ {
+		if err = work(step); err != nil {
+			return err
+		}
+		rec.Event(Event{Kind: KindLevel, Step: step})
+	}
+	return nil
+}
+
+// goodDeferredLiteral opens and closes with raw literals, closer in a
+// defer.
+func goodDeferredLiteral(rec Recorder) error {
+	rec.Event(Event{Kind: KindPlanStart})
+	defer rec.Event(Event{Kind: KindPlanEnd})
+	return work(2)
+}
+
+// badNoEnd opens a plan timeline and never closes it.
+func badNoEnd(rec Recorder) {
+	rec.Event(Event{Kind: KindPlanStart, Step: 1}) // want `KindPlanStart opens an event group but badNoEnd never emits its end event`
+	rec.Event(Event{Kind: KindLevel, Step: 1})
+}
+
+// badEarlyReturn closes only on the success path.
+func badEarlyReturn(rec Recorder) error {
+	rec.Event(Event{Kind: KindPlanStart}) // want `a path through badEarlyReturn exits without the end event`
+	for step := 1; step <= 4; step++ {
+		if err := work(step); err != nil {
+			return err
+		}
+	}
+	rec.Event(Event{Kind: KindPlanEnd})
+	return nil
+}
+
+// badUndeferredEnd closes on every return path but not under defer: a
+// panic in work loses the end event.
+func badUndeferredEnd(rec Recorder) {
+	rec.Event(Event{Kind: KindPlanStart}) // want `the end emission in badUndeferredEnd is not defer-protected`
+	_ = work(1)
+	rec.Event(Event{Kind: KindPlanEnd})
+}
+
+// badHelperNoEnd consumes an opener helper without ever closing the
+// handle.
+func badHelperNoEnd(rec Recorder) {
+	h := observeStart(rec) // want `observeStart opens an event group but badHelperNoEnd never emits its end event`
+	_ = h
+	_ = work(1)
+}
+
+// badZeroKind forgets the Kind field: the zero value silently opens a
+// traversal.
+func badZeroKind(rec Recorder, step int) {
+	rec.Event(Event{Step: step}) // want `without an explicit Kind`
+}
+
+// badUnregisteredKind emits a kind the trace consumers do not know.
+func badUnregisteredKind(rec Recorder) {
+	rec.Event(Event{Kind: KindShadowStep}) // want `event kind KindShadowStep is not registered with the trace consumers`
+}
+
+// goodSuppressed documents a deliberate one-sided emission: a crash
+// reporter that opens a group another process closes.
+func goodSuppressed(rec Recorder) {
+	rec.Event(Event{Kind: KindPlanStart}) //lint:obs-ok the paired end is emitted by the collector process on flush
+	rec.Event(Event{Kind: KindLevel, Step: 1})
+}

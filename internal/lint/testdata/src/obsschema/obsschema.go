@@ -1,0 +1,69 @@
+// Package obs (in dir obsschema) is the golden test for the
+// obsdiscipline analyzer's exhaustive-dispatch check: inside the
+// package that declares Kind, a switch over a Kind value with no
+// default must name every declared kind, so adding a constant without
+// wiring the trace encoder fails lint instead of silently dropping
+// events.
+package obs
+
+// Kind discriminates events.
+type Kind uint8
+
+const (
+	KindTraversalStart Kind = iota
+	KindLevel
+	KindTraversalEnd
+)
+
+// Event is the flat record.
+type Event struct {
+	Kind Kind
+	Step int
+}
+
+// goodExhaustive names every kind.
+func goodExhaustive(e Event) string {
+	switch e.Kind {
+	case KindTraversalStart:
+		return "start"
+	case KindLevel:
+		return "level"
+	case KindTraversalEnd:
+		return "end"
+	}
+	return ""
+}
+
+// goodDefaulted opts out of exhaustiveness with a default arm.
+func goodDefaulted(e Event) string {
+	switch e.Kind {
+	case KindLevel:
+		return "level"
+	default:
+		return "other"
+	}
+}
+
+// badMissingCase forgets KindTraversalEnd — the "added a kind, forgot
+// the encoder" failure.
+func badMissingCase(e Event) string {
+	switch e.Kind { // want `switch over Kind has no default and misses KindTraversalEnd`
+	case KindTraversalStart:
+		return "start"
+	case KindLevel:
+		return "level"
+	}
+	return ""
+}
+
+// goodSuppressedSwitch documents a deliberately partial dispatcher.
+func goodSuppressedSwitch(e Event) string {
+	//lint:obs-ok sampling encoder: end events are handled by the flush path
+	switch e.Kind {
+	case KindTraversalStart:
+		return "start"
+	case KindLevel:
+		return "level"
+	}
+	return ""
+}

@@ -45,8 +45,11 @@ type Metrics struct {
 
 	// Simulated executions.
 	planRuns atomic.Int64
-	simSteps atomic.Int64
-	handoffs atomic.Int64
+	// planSimMicros totals the priced seconds of completed plan
+	// timelines (KindPlanEnd's SimDur), in microseconds.
+	planSimMicros atomic.Int64
+	simSteps      atomic.Int64
+	handoffs      atomic.Int64
 	// handoffBytes totals the modeled payload moved between devices.
 	handoffBytes atomic.Int64
 
@@ -98,6 +101,8 @@ func (m *Metrics) Event(e Event) {
 		m.rootsDone.Add(1)
 	case KindPlanStart:
 		m.planRuns.Add(1)
+	case KindPlanEnd:
+		m.planSimMicros.Add(int64(e.SimDur * 1e6))
 	case KindSimStep:
 		m.simSteps.Add(1)
 	case KindHandoff:
@@ -142,6 +147,7 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"bottomup_scans_total":      m.scans.Load(),
 		"grains_dispatched_total":   m.grains.Load(),
 		"plan_runs_total":           m.planRuns.Load(),
+		"plan_sim_micros_total":     m.planSimMicros.Load(),
 		"sim_steps_total":           m.simSteps.Load(),
 		"handoffs_total":            m.handoffs.Load(),
 		"handoff_bytes_total":       m.handoffBytes.Load(),
