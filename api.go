@@ -60,6 +60,15 @@ type (
 	WorkspacePool = bfs.WorkspacePool
 	// ManyOptions configures BFSMany / bfs.RunMany batches.
 	ManyOptions = bfs.ManyOptions
+	// Fabric is a modeled rank-to-rank interconnect with collective
+	// costs (ring all-gather, all-to-all, all-reduce).
+	Fabric = archsim.Fabric
+	// ExchangeStats is one level's cross-rank communication volume from
+	// a sharded traversal (Result.Exchanges).
+	ExchangeStats = bfs.ExchangeStats
+	// ShardedPlan prices the partitioned engine on Ranks modeled
+	// devices joined by a Fabric.
+	ShardedPlan = core.ShardedPlan
 )
 
 // Direction values.
@@ -137,6 +146,13 @@ func NewBottomUpEngine(workers int) Engine { return bfs.BottomUpEngine(workers) 
 
 // NewHybridEngine returns the (M, N)-switched combination as an Engine.
 func NewHybridEngine(m, n float64, workers int) Engine { return bfs.HybridEngine(m, n, workers) }
+
+// NewShardedEngine returns the partitioned engine: ranks goroutine
+// "ranks" each own one 1D vertex shard, exchange compressed frontier
+// state once per level, and switch direction collectively under the
+// (m, n) rule. Results carry per-level ExchangeStats in
+// Result.Exchanges.
+func NewShardedEngine(ranks int, m, n float64) Engine { return bfs.NewShardedEngine(ranks, m, n) }
 
 // BFSWith runs one traversal through an Engine in a caller-held
 // workspace. ws may be nil (a throwaway workspace is allocated); when
@@ -361,6 +377,25 @@ func MIC() Arch { return archsim.KnightsCorner() }
 
 // PCIe returns the default CPU<->GPU interconnect model.
 func PCIe() Link { return archsim.PCIe() }
+
+// SMPFabric returns the shared-memory fabric model for n ranks (the
+// default machine for the sharded engine's priced exchanges).
+func SMPFabric(n int) *Fabric { return archsim.SMP(n) }
+
+// PCIeFabric returns a fabric of n ranks joined pairwise by PCIe.
+func PCIeFabric(n int) *Fabric { return archsim.PCIeFabric(n) }
+
+// EthernetFabric returns a 10GbE fabric for n ranks — the
+// distributed-memory end of the communication-cost spectrum.
+func EthernetFabric(n int) *Fabric { return archsim.Eth10G(n) }
+
+// SimulateSharded runs the partitioned engine for real and prices the
+// traversal on plan's modeled machine: per-level kernel times on
+// 1/Ranks of the work plus the fabric collectives carrying the
+// measured exchange volumes.
+func SimulateSharded(ctx context.Context, g *Graph, source int32, plan ShardedPlan) (*Result, *Timing, error) {
+	return core.ExecuteSharded(ctx, g, source, plan, nil, nil)
+}
 
 // NewBaseline returns the pure single-direction plan on arch
 // (e.g. GPUTD).

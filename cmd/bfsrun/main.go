@@ -83,6 +83,13 @@ type config struct {
 	pprofAddr string
 	// cpuProfile writes a CPU profile covering the whole run.
 	cpuProfile string
+	// shards, when > 0, also runs the partitioned engine for real with
+	// that many ranks and reports the per-level exchanged bytes priced
+	// through the selected fabric.
+	shards int
+	// fabric selects the interconnect model pricing the sharded
+	// exchanges: smp, pcie, or eth10g.
+	fabric string
 }
 
 func main() {
@@ -110,6 +117,8 @@ func main() {
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print aggregated telemetry counters after the run")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve /debug/pprof, /debug/vars, and /metrics on this address during the run")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	flag.IntVar(&cfg.shards, "shards", 0, "also run the partitioned engine with this many ranks (0 = off)")
+	flag.StringVar(&cfg.fabric, "fabric", "smp", "fabric model pricing sharded exchanges: smp, pcie, eth10g")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -218,6 +227,11 @@ func run(ctx context.Context, cfg config) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+	if cfg.shards > 0 {
+		if err := runSharded(ctx, cfg, g, src, tel.rec); err != nil {
+			return err
+		}
 	}
 	if err := tel.close(); err != nil {
 		return err
@@ -426,6 +440,56 @@ func price(tr *bfs.Trace, pl core.Plan, link archsim.Link, sched *fault.Schedule
 		return core.SimulateObserved(tr, pl, link, rec), nil
 	}
 	return core.SimulateResilient(tr, pl, link, core.ResilientOptions{Schedule: sched, Recorder: rec})
+}
+
+// runSharded executes the partitioned engine for real and prints the
+// per-level exchange volumes priced through the selected fabric — the
+// communication-vs-computation view of the 1D-sharded traversal.
+func runSharded(ctx context.Context, cfg config, g *graph.CSR, src int32, rec obs.Recorder) error {
+	fab, err := pickFabric(cfg.fabric, cfg.shards)
+	if err != nil {
+		return err
+	}
+	plan := core.ShardedPlan{
+		Device: archsim.SandyBridge(),
+		Ranks:  cfg.shards,
+		Fabric: fab,
+		M:      cfg.m1,
+		N:      cfg.n1,
+	}
+	start := time.Now()
+	res, timing, err := core.ExecuteSharded(ctx, g, src, plan, nil, rec)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("\nsharded: %d ranks over %s, wall %.6fs, modeled %.6fs (%.6fs on the fabric), GTEPS %.3f\n",
+		cfg.shards, fab.Name, wall.Seconds(), timing.Total, timing.Transfers, timing.GTEPS())
+	if !cfg.perLevel {
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for i, ex := range res.Exchanges {
+		st := timing.Steps[i]
+		fmt.Fprintf(w, "\tlevel %d\t%s\tdelta %dB\tghosts %dB (%d/%d applied)\t%.6fs kernel\t%.6fs exchange\n",
+			ex.Step, ex.Dir, ex.FrontierBytes, ex.GhostBytes, ex.GhostApplied, ex.GhostSent,
+			st.Kernel, st.Transfer)
+	}
+	return w.Flush()
+}
+
+// pickFabric maps the -fabric flag to its archsim model.
+func pickFabric(name string, ranks int) (*archsim.Fabric, error) {
+	switch strings.ToLower(name) {
+	case "smp":
+		return archsim.SMP(ranks), nil
+	case "pcie":
+		return archsim.PCIeFabric(ranks), nil
+	case "eth10g":
+		return archsim.Eth10G(ranks), nil
+	default:
+		return nil, fmt.Errorf("unknown fabric %q (have: smp, pcie, eth10g)", name)
+	}
 }
 
 func pickSource(g *graph.CSR, requested int) (int32, error) {

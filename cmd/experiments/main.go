@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, realtable4, faults, all)")
+		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, sharded, realtable4, faults, all)")
 		scale      = flag.Int("scale", 0, "override base SCALE (default 17)")
 		edgeFactor = flag.Int("edgefactor", 0, "override base edge factor (default 16)")
 		seed       = flag.Uint64("seed", 0, "override R-MAT seed (default 1)")
@@ -99,7 +99,7 @@ func dispatch(ctx context.Context, run string, cfg exp.Config, opts runOpts) err
 		// The faults experiment is opt-in: it reprices one workload
 		// under synthetic failures rather than reproducing a paper
 		// artifact, so it does not belong in the replication sweep.
-		ids = []string{"fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9", "fig10a", "fig10b", "table6", "comparisons", "heuristics", "multi", "realtable4"}
+		ids = []string{"fig1", "fig2", "fig3", "table3", "fig8", "table4", "table5", "fig9", "fig10a", "fig10b", "table6", "comparisons", "heuristics", "multi", "sharded", "realtable4"}
 	}
 	for _, id := range ids {
 		// The deadline cuts the suite at an experiment boundary so
@@ -270,6 +270,15 @@ func runOne(ctx context.Context, id string, cfg exp.Config, opts runOpts) error 
 			}
 		}
 		return nil
+	case "sharded":
+		rows, err := exp.ShardedCrossover(cfg, nil, nil)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.ShardedCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderSharded(w, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

@@ -1,6 +1,8 @@
 package bfs
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -170,6 +172,56 @@ func BenchmarkValidate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := Validate(g, r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedScales sweeps the partitioned engine across rank
+// counts and graph scales. Besides wall time it reports MTEPS and the
+// per-traversal exchange payload (compressed frontier deltas plus
+// ghost-claim scatter) — the two axes of the communication-vs-
+// computation crossover the sharded experiment tables plot.
+func BenchmarkShardedScales(b *testing.B) {
+	graphs := map[int]*graph.CSR{}
+	sources := map[int]int32{}
+	for _, scale := range []int{12, 14} {
+		g, err := rmat.Generate(rmat.DefaultParams(scale, 16))
+		if err != nil {
+			b.Fatal(err)
+		}
+		graphs[scale] = g
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(int32(v)) > 0 {
+				sources[scale] = int32(v)
+				break
+			}
+		}
+	}
+	for _, scale := range []int{12, 14} {
+		for _, ranks := range []int{1, 2, 4, 8} {
+			g, src := graphs[scale], sources[scale]
+			eng := NewShardedEngine(ranks, DefaultM, DefaultN)
+			ws := NewWorkspace(g.NumVertices())
+			b.Run(fmt.Sprintf("scale%d/ranks%d", scale, ranks), func(b *testing.B) {
+				var edges, bytes int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := eng.RunContext(context.Background(), g, src, ws)
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges += r.TraversedEdges
+					bytes = 0
+					for _, ex := range r.Exchanges {
+						bytes += ex.TotalBytes()
+					}
+				}
+				b.StopTimer()
+				mteps := float64(edges) / 1e6 / b.Elapsed().Seconds()
+				b.ReportMetric(mteps, "MTEPS")
+				b.ReportMetric(float64(bytes), "exchanged-B/op")
+			})
 		}
 	}
 }

@@ -59,6 +59,11 @@ type Result struct {
 	// kernel scanned at step i+1, or 0 for top-down steps. It lets
 	// callers cross-check the analytical trace against the kernels.
 	StepScans []int64
+	// Exchanges records, for partitioned (sharded) traversals, the
+	// per-level communication volume: one entry per expansion step, in
+	// step order. Non-sharded engines leave it empty. The byte counts
+	// are what archsim.Fabric prices when simulating the exchange.
+	Exchanges []ExchangeStats
 	// VisitedCount is the number of reachable vertices (including the
 	// source).
 	VisitedCount int64
@@ -66,6 +71,32 @@ type Result struct {
 	// vertices; TEPS = TraversedEdges / time per Graph 500.
 	TraversedEdges int64
 }
+
+// ExchangeStats is one level's cross-rank communication summary from a
+// sharded traversal: the compressed frontier deltas all ranks published
+// (bottom-up all-gather) and the ghost claim pairs they scattered
+// (top-down all-to-all), plus the exactly-once accounting — GhostSent
+// counts (vertex, parent) claims received by owners, GhostApplied the
+// subset that won their vertex.
+type ExchangeStats struct {
+	Step int
+	Dir  Direction
+	// FrontierBytes is the total size of the compressed bitmap deltas
+	// exchanged this level (bottom-up levels; 0 for top-down).
+	FrontierBytes int64
+	// GhostBytes is the total size of the remote claim pairs scattered
+	// this level (top-down levels; 0 for bottom-up).
+	GhostBytes int64
+	// GhostSent counts remote claims delivered to owners; GhostApplied
+	// counts the claims that discovered their vertex (the rest lost the
+	// visited-bit arbitration — duplicates proposing an already-claimed
+	// vertex).
+	GhostSent    int64
+	GhostApplied int64
+}
+
+// TotalBytes returns the level's combined exchanged payload.
+func (s ExchangeStats) TotalBytes() int64 { return s.FrontierBytes + s.GhostBytes }
 
 // NumLevels returns the number of expansion steps performed (the
 // paper's "level N" count, e.g. 9 in Table IV).

@@ -38,6 +38,7 @@ type Workspace struct {
 	level      []int32
 	directions []Direction
 	stepScans  []int64
+	exchanges  []ExchangeStats
 
 	// Frontier queues. The runner ping-pongs between them level by
 	// level, so both stabilize at the widest frontier seen.
@@ -111,6 +112,7 @@ func (w *Workspace) begin(g *graph.CSR, source int32) *Result {
 		Level:      w.level,
 		Directions: w.directions[:0],
 		StepScans:  w.stepScans[:0],
+		Exchanges:  w.exchanges[:0],
 	}
 	return &w.result
 }
@@ -120,6 +122,7 @@ func (w *Workspace) begin(g *graph.CSR, source int32) *Result {
 func (w *Workspace) retain(r *Result, queue, spare []int32) {
 	w.directions = r.Directions
 	w.stepScans = r.StepScans
+	w.exchanges = r.Exchanges
 	w.queue = queue
 	w.spare = spare
 }
@@ -155,6 +158,7 @@ func (r *Result) Clone() *Result {
 	c.Level = append([]int32(nil), r.Level...)
 	c.Directions = append([]Direction(nil), r.Directions...)
 	c.StepScans = append([]int64(nil), r.StepScans...)
+	c.Exchanges = append([]ExchangeStats(nil), r.Exchanges...)
 	return &c
 }
 

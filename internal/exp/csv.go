@@ -96,3 +96,19 @@ func StrategiesCSV(w io.Writer, rows []StrategyRow) error {
 	}
 	return writeCSV(w, []string{"graph", "random_s", "average_s", "regression_s", "exhaustive_s", "worst_s"}, out)
 }
+
+// ShardedCSV emits the partitioned-BFS crossover data.
+func ShardedCSV(w io.Writer, rows []ShardedRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Ranks),
+			r.Fabric,
+			fmt.Sprintf("%.6f", r.GTEPS),
+			fmt.Sprintf("%.9f", r.KernelSeconds),
+			fmt.Sprintf("%.9f", r.ExchangeSec),
+			strconv.FormatInt(r.ExchangedBytes, 10),
+		})
+	}
+	return writeCSV(w, []string{"ranks", "fabric", "gteps", "kernel_s", "exchange_s", "exchanged_bytes"}, out)
+}

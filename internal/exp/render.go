@@ -192,3 +192,15 @@ func RenderTiming(w io.Writer, t *core.Timing) error {
 	}
 	return tw.Flush()
 }
+
+// RenderSharded prints the partitioned-BFS crossover sweep.
+func RenderSharded(w io.Writer, rows []ShardedRow) error {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "ranks\tfabric\tGTEPS\tkernel s\texchange s\texchanged\t")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%.6f\t%.6f\t%dB\t\n",
+			r.Ranks, r.Fabric, r.GTEPS, r.KernelSeconds, r.ExchangeSec, r.ExchangedBytes)
+	}
+	fmt.Fprintln(tw, "(measured partitioned traversal, priced per fabric; kernel is the slowest shard)")
+	return tw.Flush()
+}

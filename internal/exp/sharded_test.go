@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crossbfs/internal/archsim"
+)
+
+// TestShardedCrossoverShape checks the sweep's structure and the
+// crossover property it exists to show: on the slow fabric, the
+// exchange term grows with the rank count while the measured payload
+// is fabric-independent.
+func TestShardedCrossoverShape(t *testing.T) {
+	rows, err := ShardedCrossover(smallCfg, []int{1, 2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 3 rank counts x 2 fabrics", len(rows))
+	}
+	byKey := make(map[string]ShardedRow)
+	for _, r := range rows {
+		if r.GTEPS <= 0 {
+			t.Errorf("%d ranks on %s: GTEPS %g", r.Ranks, r.Fabric, r.GTEPS)
+		}
+		if r.Ranks == 1 && (r.ExchangeSec != 0 || r.ExchangedBytes != 0) {
+			t.Errorf("single rank reports communication: %+v", r)
+		}
+		if r.Ranks > 1 && r.ExchangedBytes <= 0 {
+			t.Errorf("%d ranks on %s: no bytes exchanged", r.Ranks, r.Fabric)
+		}
+		byKey[r.Fabric+string(rune('0'+r.Ranks))] = r
+	}
+	// Same traversal, same payload — only the pricing differs per fabric.
+	for _, ranks := range []string{"2", "4"} {
+		smp, eth := byKey["smp"+ranks], byKey["eth10g"+ranks]
+		if smp.ExchangedBytes != eth.ExchangedBytes {
+			t.Errorf("%s ranks: smp moved %dB, eth10g %dB — payload should be fabric-independent",
+				ranks, smp.ExchangedBytes, eth.ExchangedBytes)
+		}
+		if eth.ExchangeSec <= smp.ExchangeSec {
+			t.Errorf("%s ranks: eth10g exchange %gs not slower than smp %gs",
+				ranks, eth.ExchangeSec, smp.ExchangeSec)
+		}
+	}
+	if byKey["eth10g4"].ExchangeSec <= byKey["eth10g2"].ExchangeSec {
+		t.Error("eth10g exchange time did not grow from 2 to 4 ranks")
+	}
+}
+
+func TestShardedCrossoverRejectsBadFabric(t *testing.T) {
+	_, err := ShardedCrossover(smallCfg, []int{2}, []func(int) *archsim.Fabric{
+		func(int) *archsim.Fabric { return archsim.SMP(3) }, // wrong rank count
+	})
+	if err == nil {
+		t.Fatal("fabric/rank mismatch accepted")
+	}
+}
+
+func TestRenderShardedAndCSV(t *testing.T) {
+	rows := []ShardedRow{
+		{Ranks: 2, Fabric: "smp", GTEPS: 0.5, KernelSeconds: 0.001, ExchangeSec: 0.0001, ExchangedBytes: 1024},
+	}
+	var buf bytes.Buffer
+	if err := RenderSharded(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "smp") || !strings.Contains(buf.String(), "1024B") {
+		t.Errorf("render missing fields:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := ShardedCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exchanged_bytes") || !strings.Contains(buf.String(), "1024") {
+		t.Errorf("csv missing fields:\n%s", buf.String())
+	}
+}

@@ -61,12 +61,17 @@ var registeredKinds = map[string]bool{
 	"KindRetry":          true,
 	"KindReplan":         true,
 	"KindFault":          true,
+	"KindExchangeStart":  true,
+	"KindExchangeEnd":    true,
+	"KindCollective":     true,
+	"KindGhostUpdate":    true,
 }
 
 // openerPairs maps each group-opening kind to its required closer.
 var openerPairs = map[string]string{
 	"KindTraversalStart": "KindTraversalEnd",
 	"KindPlanStart":      "KindPlanEnd",
+	"KindExchangeStart":  "KindExchangeEnd",
 }
 
 // obsLikePkgs memoizes which packages carry an obs-shaped Event/Kind

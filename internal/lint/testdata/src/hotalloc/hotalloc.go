@@ -168,3 +168,56 @@ func goodColdAlloc(n int) []int64 {
 	_ = fmt.Sprintf("allocated %d", n)
 	return xs
 }
+
+// The cases below mirror the partitioned engine's per-level exchange:
+// delta encoders and ghost scatters run once per level per rank, inside
+// the rank loop — hot by annotation, like the real kernels.
+
+// badEncodeDelta builds a fresh payload per level instead of reusing
+// the rank's pooled buffer.
+//
+//lint:hot
+func badEncodeDelta(words []uint64) []byte {
+	out := make([]byte, 0, 8*len(words)) // want `hot path \(//lint:hot badEncodeDelta\): make allocates`
+	for _, w := range words {
+		out = append(out, byte(w))
+	}
+	return out
+}
+
+// goodAppendDelta is the engine's idiom: encode into the caller's
+// buffer (handed in as buf[:0]), so steady-state levels allocate
+// nothing.
+//
+//lint:hot
+func goodAppendDelta(dst []byte, words []uint64) []byte {
+	for _, w := range words {
+		dst = append(dst, byte(w))
+	}
+	return dst
+}
+
+// badScatterPairs allocates a claim pair per edge inside the grain
+// loop — the exchange-path version of badLiteralsInGrain.
+func badScatterPairs(frontier []int32, outboxes [][][]int32, owner func(int32) int) {
+	parallelGrains(len(frontier), 64, 4, func(worker, start, end int) {
+		for _, v := range frontier[start:end] {
+			pair := []int32{v, v + 1} // want `hot path \(grain loop of parallelGrains\): slice literal heap-allocates`
+			dst := owner(v)
+			outboxes[worker][dst] = append(outboxes[worker][dst], pair...)
+		}
+	})
+}
+
+// goodScatterFlat appends the flat (v, u) encoding straight into the
+// per-rank outbox — no per-edge temporaries; the one append that may
+// grow the row is amortized and annotated.
+func goodScatterFlat(frontier []int32, outboxes [][][]int32, owner func(int32) int) {
+	parallelGrains(len(frontier), 64, 4, func(worker, start, end int) {
+		rows := outboxes[worker]
+		for _, v := range frontier[start:end] {
+			dst := owner(v)
+			rows[dst] = append(rows[dst], v, v+1)
+		}
+	})
+}

@@ -134,3 +134,81 @@ func goodBatchIndexedWrite(roots []int32, out []float64) {
 		return nil
 	})
 }
+
+// The cases below mirror the partitioned engine's frontier exchange:
+// rank goroutines scatter remote claims into an outbox matrix and
+// merge peers' deltas into disjoint owned ranges.
+
+// badGhostScatter routes each remote claim into the DESTINATION
+// rank's outbox row — every rank writes every row, the classic
+// exchange race. The safe form gives each sender its own row.
+func badGhostScatter(outboxes [][]int32, frontier []int32, owner func(int32) int) {
+	var wg sync.WaitGroup
+	for r := 0; r < len(outboxes); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for _, v := range frontier {
+				dst := owner(v)
+				outboxes[dst] = append(outboxes[dst], v) // want `write to captured "outboxes"`
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// goodOutboxPublish is the sender-owns-the-row idiom the engine uses:
+// rank is the closure's own parameter, so outboxes[rank] is a
+// per-worker shard even though the destination varies inside the row.
+func goodOutboxPublish(outboxes [][]int32, frontier []int32, owner func(int32) int) {
+	var wg sync.WaitGroup
+	for r := 0; r < len(outboxes); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var out []int32
+			for _, v := range frontier {
+				if owner(v) != rank {
+					out = append(out, v)
+				}
+			}
+			outboxes[rank] = out
+		}(r)
+	}
+	wg.Wait()
+}
+
+// goodGhostApply is the owner-side arbitration idiom: inbound claims
+// race, but only the atomic-claim winner writes the shared rows.
+func goodGhostApply(parent []int32, inbox []int32, visited *bitmap) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range inbox {
+			if visited.SetAtomic(int(v)) {
+				parent[v] = v
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// goodOwnedRange is the 1D-partition invariant only a human can
+// assert: rank boundaries are word-aligned, so every write lands in
+// the writer's own disjoint [lo[rank], hi[rank]) rows.
+func goodOwnedRange(parent []int32, lo, hi []int, replica *bitmap) {
+	var wg sync.WaitGroup
+	for r := 0; r < len(lo); r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for v := lo[rank]; v < hi[rank]; v++ {
+				if replica.Get(v) {
+					parent[v] = int32(v) //lint:shared-ok v iterates this rank's owned [lo,hi) range; 64-aligned partition boundaries keep even the bitmap words disjoint
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

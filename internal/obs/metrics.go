@@ -58,6 +58,15 @@ type Metrics struct {
 	replans atomic.Int64
 	faults  atomic.Int64
 
+	// Sharded traversals.
+	exchanges atomic.Int64 // KindExchangeEnd (completed exchanges)
+	// exchangeBytes totals the compressed frontier/ghost payload the
+	// ranks contributed across all exchanges.
+	exchangeBytes atomic.Int64
+	collectives   atomic.Int64 // KindCollective (global switch decisions)
+	ghostUpdates  atomic.Int64 // KindGhostUpdate events
+	ghostApplied  atomic.Int64 // remote claims that won their vertex
+
 	// frontierHist[b] counts levels whose |V|cq had bit-length b
 	// (power-of-two buckets: bucket b covers [2^(b-1), 2^b)).
 	frontierHist [48]atomic.Int64
@@ -114,6 +123,16 @@ func (m *Metrics) Event(e Event) {
 		m.replans.Add(1)
 	case KindFault:
 		m.faults.Add(1)
+	case KindExchangeStart:
+		// Counted on the paired KindExchangeEnd, which carries the bytes.
+	case KindExchangeEnd:
+		m.exchanges.Add(1)
+		m.exchangeBytes.Add(e.Bytes)
+	case KindCollective:
+		m.collectives.Add(1)
+	case KindGhostUpdate:
+		m.ghostUpdates.Add(1)
+		m.ghostApplied.Add(e.Discovered)
 	}
 }
 
@@ -154,6 +173,11 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"retries_total":             m.retries.Load(),
 		"replans_total":             m.replans.Load(),
 		"faults_total":              m.faults.Load(),
+		"exchanges_total":           m.exchanges.Load(),
+		"exchange_bytes_total":      m.exchangeBytes.Load(),
+		"collectives_total":         m.collectives.Load(),
+		"ghost_updates_total":       m.ghostUpdates.Load(),
+		"ghost_applied_total":       m.ghostApplied.Load(),
 	}
 	for i := range m.frontierHist {
 		if v := m.frontierHist[i].Load(); v > 0 {

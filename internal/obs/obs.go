@@ -38,10 +38,13 @@
 // Concurrency contract: one Recorder may be shared by many concurrent
 // traversals (RunMany fans a whole batch into a single recorder), so
 // implementations must be safe for concurrent Event calls. Events of
-// one traversal share a TraversalID and are emitted in step order by a
-// single goroutine (the traversal's coordinating goroutine); events of
-// different traversals interleave arbitrarily. See OBSERVABILITY.md
-// for the full taxonomy and ordering guarantees.
+// one traversal share a TraversalID; the traversal-lane events
+// (start/level/switch/end, collective) are emitted in step order by a
+// single goroutine, while the per-rank sharded events (exchange,
+// ghost-update) ride their own lanes and may be emitted concurrently
+// by the rank goroutines. Events of different traversals interleave
+// arbitrarily. See OBSERVABILITY.md for the full taxonomy and ordering
+// guarantees.
 package obs
 
 import (
@@ -96,6 +99,25 @@ const (
 	// KindFault reports any other fault event the ladder handled or
 	// died on: slowdowns and fatal rungs (Device, Step, Detail).
 	KindFault
+	// KindExchangeStart opens one rank's per-level frontier exchange in
+	// a sharded traversal: Step, Dir, Index (rank), Workers (total
+	// ranks), Wall. Exchange events ride per-rank lanes, so unlike the
+	// traversal's own events they may be emitted concurrently by the
+	// rank goroutines.
+	KindExchangeStart
+	// KindExchangeEnd closes the rank's exchange: Step, Dir, Index
+	// (rank), Bytes (payload this rank contributed), Wall, WallDur.
+	KindExchangeEnd
+	// KindCollective reports the per-level all-reduce of a sharded
+	// traversal — the global switch decision: Step, Dir (the direction
+	// chosen for this step), FrontierVertices/FrontierEdges/Unvisited
+	// (global sums; FrontierEdges -1 when skipped), Workers (ranks),
+	// Wall. Emitted once per step by the reduction leader.
+	KindCollective
+	// KindGhostUpdate reports a rank applying remote top-down claims to
+	// vertices it owns: Step, Index (rank), Scans (claims received),
+	// Discovered (claims that won), Bytes, Wall.
+	KindGhostUpdate
 )
 
 func (k Kind) String() string {
@@ -126,6 +148,14 @@ func (k Kind) String() string {
 		return "replan"
 	case KindFault:
 		return "fault"
+	case KindExchangeStart:
+		return "exchange_start"
+	case KindExchangeEnd:
+		return "exchange_end"
+	case KindCollective:
+		return "collective"
+	case KindGhostUpdate:
+		return "ghost_update"
 	default:
 		return "unknown"
 	}

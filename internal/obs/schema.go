@@ -23,6 +23,11 @@ type TraceSummary struct {
 	Switches int // cat "switch" instants
 	Faults   int // cat "fault" instants
 
+	// Sharded-traversal events (see DESIGN.md, partition layer).
+	Exchanges    int // cat "exchange" slices (per-rank frontier exchanges)
+	Collectives  int // cat "collective" instants (global switch decisions)
+	GhostUpdates int // cat "ghost" instants (remote claim application)
+
 	// Processes maps pid to its process_name metadata.
 	Processes map[int]string
 	// Threads maps "pid/tid" to its thread_name metadata.
@@ -79,7 +84,9 @@ type rawEvent struct {
 //     tid their steps increase by exactly 1 from 1 (sim timelines) or
 //     from their first step (traversal lanes) — the property that
 //     makes per-level switch reconstruction sound;
-//   - directions are "TD" or "BU".
+//   - directions are "TD" or "BU";
+//   - exchange slices carry bytes/rank args, collective instants a
+//     positive step and a direction, ghost instants a rank.
 //
 // On success it returns the summary; the first violation returns an
 // error naming the offending event index.
@@ -145,6 +152,20 @@ func ValidateTrace(data []byte) (*TraceSummary, error) {
 				s.Switches++
 			case "fault":
 				s.Faults++
+			case "collective":
+				s.Collectives++
+				step, ok := argInt(ev.Args, "step")
+				if !ok || step < 1 {
+					return nil, fmt.Errorf("event %d (%s): collective instant without positive args.step", i, ev.Name)
+				}
+				if dir, _ := ev.Args["dir"].(string); dir != "TD" && dir != "BU" {
+					return nil, fmt.Errorf("event %d (%s): collective dir %q is neither TD nor BU", i, ev.Name, dir)
+				}
+			case "ghost":
+				s.GhostUpdates++
+				if _, ok := argInt(ev.Args, "rank"); !ok {
+					return nil, fmt.Errorf("event %d (%s): ghost instant without args.rank", i, ev.Name)
+				}
 			}
 			continue
 		}
@@ -180,6 +201,14 @@ func ValidateTrace(data []byte) (*TraceSummary, error) {
 			s.Handoffs++
 			if _, ok := argInt(ev.Args, "bytes"); !ok {
 				return nil, fmt.Errorf("event %d (%s): handoff slice without args.bytes", i, ev.Name)
+			}
+		case "exchange":
+			s.Exchanges++
+			if _, ok := argInt(ev.Args, "bytes"); !ok {
+				return nil, fmt.Errorf("event %d (%s): exchange slice without args.bytes", i, ev.Name)
+			}
+			if _, ok := argInt(ev.Args, "rank"); !ok {
+				return nil, fmt.Errorf("event %d (%s): exchange slice without args.rank", i, ev.Name)
 			}
 		}
 	}

@@ -54,8 +54,9 @@ type laneState struct {
 	epoch     time.Time
 	haveEpoch bool
 
-	pids     map[string]int // lane name -> pid
-	tids     map[uint64]int // TraversalID -> tid
+	pids     map[string]int  // lane name -> pid
+	tids     map[uint64]int  // TraversalID -> tid
+	rankTids map[rankKey]int // (TraversalID, rank) -> tid (sharded lanes)
 	nextPid  int
 	nextTid  int
 	planName map[uint64]string // TraversalID -> plan name (simulated)
@@ -72,6 +73,7 @@ func newLaneState(emit func(traceEvent)) *laneState {
 	return &laneState{
 		pids:     map[string]int{"host": hostPid, "interconnect": linkPid},
 		tids:     make(map[uint64]int),
+		rankTids: make(map[rankKey]int),
 		nextPid:  linkPid + 1,
 		nextTid:  1,
 		planName: make(map[uint64]string),
@@ -197,7 +199,71 @@ func (t *laneState) event(e Event) {
 				"plan": t.planLabel(e.TraversalID),
 			},
 		})
+	case KindExchangeStart:
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d exchange start", e.Step), Cat: "exchange",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "dir": e.Dir.String(),
+				"rank": e.Index, "ranks": e.Workers,
+			},
+		})
+	case KindExchangeEnd:
+		dur := float64(e.WallDur) / float64(time.Microsecond)
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d exchange", e.Step), Cat: "exchange", Ph: "X",
+			TS: t.wallTS(e.Wall), Dur: &dur, Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "dir": e.Dir.String(),
+				"rank": e.Index, "bytes": e.Bytes,
+			},
+		})
+	case KindCollective:
+		// The collective is a traversal-wide decision, so it rides the
+		// traversal's own lane, between the level slices it separates.
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("collective L%d %s", e.Step, e.Dir), Cat: "collective",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: t.tid(e.TraversalID),
+			Args: map[string]any{
+				"step": e.Step, "dir": e.Dir.String(),
+				"frontierVertices": e.FrontierVertices, "frontierEdges": e.FrontierEdges,
+				"unvisited": e.Unvisited, "ranks": e.Workers,
+			},
+		})
+	case KindGhostUpdate:
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d ghosts", e.Step), Cat: "ghost",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "rank": e.Index,
+				"received": e.Scans, "applied": e.Discovered, "bytes": e.Bytes,
+			},
+		})
 	}
+}
+
+// rankKey identifies one rank lane of one sharded traversal.
+type rankKey struct {
+	id   uint64
+	rank int32
+}
+
+// rankTid returns the lane for one rank of a sharded traversal,
+// registering its thread_name on first use. Rank lanes live on the
+// host pid next to the traversal's own lane.
+func (t *laneState) rankTid(id uint64, rank, root int32) int {
+	key := rankKey{id, rank}
+	if tid, ok := t.rankTids[key]; ok {
+		return tid
+	}
+	tid := t.nextTid
+	t.nextTid++
+	t.rankTids[key] = tid
+	t.threadName(hostPid, tid, fmt.Sprintf("rank %d (root %d)", rank, root))
+	return tid
 }
 
 // planLabel names a simulated timeline for display.

@@ -59,6 +59,45 @@ func goldenEvents() []Event {
 			Unvisited: 111, Scans: 900, SimStart: 0.0022, SimDur: 0.0001},
 		{Kind: KindPlanEnd, TraversalID: 2, Root: 5, Engine: "CPUTD+GPUCB", Dir: DirNone,
 			SimStart: 0.0023, SimDur: 0.0023},
+
+		// One sharded traversal (2 ranks, TD then BU): the collective
+		// decision instants on the traversal lane, paired exchange
+		// events and ghost updates on the per-rank lanes.
+		{Kind: KindTraversalStart, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Dir: DirNone,
+			FrontierVertices: 1024, FrontierEdges: 16384, Wall: at(200)},
+		{Kind: KindCollective, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			FrontierVertices: 1, FrontierEdges: 9, Unvisited: 1023, Workers: 2, Wall: at(205)},
+		{Kind: KindExchangeStart, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			Index: 0, Workers: 2, Wall: at(210)},
+		{Kind: KindExchangeStart, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			Index: 1, Workers: 2, Wall: at(211)},
+		{Kind: KindExchangeEnd, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			Index: 0, Bytes: 0, Wall: at(214), WallDur: 4 * time.Microsecond},
+		{Kind: KindExchangeEnd, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			Index: 1, Bytes: 96, Wall: at(215), WallDur: 4 * time.Microsecond},
+		{Kind: KindGhostUpdate, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: DirNone,
+			Index: 0, Scans: 3, Discovered: 2, Bytes: 24, Wall: at(216)},
+		{Kind: KindGhostUpdate, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: DirNone,
+			Index: 1, Scans: 1, Discovered: 1, Bytes: 8, Wall: at(217)},
+		{Kind: KindLevel, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 1, Dir: TopDown,
+			FrontierVertices: 1, FrontierEdges: 9, Discovered: 9, Unvisited: 1023,
+			Grains: 2, Workers: 2, Wall: at(205), WallDur: 15 * time.Microsecond},
+		{Kind: KindSwitch, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp, Wall: at(225)},
+		{Kind: KindCollective, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			FrontierVertices: 9, FrontierEdges: 820, Unvisited: 1014, Workers: 2, Wall: at(225)},
+		{Kind: KindExchangeStart, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			Index: 0, Workers: 2, Wall: at(227)},
+		{Kind: KindExchangeStart, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			Index: 1, Workers: 2, Wall: at(228)},
+		{Kind: KindExchangeEnd, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			Index: 0, Bytes: 40, Wall: at(230), WallDur: 3 * time.Microsecond},
+		{Kind: KindExchangeEnd, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			Index: 1, Bytes: 36, Wall: at(231), WallDur: 3 * time.Microsecond},
+		{Kind: KindLevel, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Step: 2, Dir: BottomUp,
+			FrontierVertices: 9, FrontierEdges: 820, Discovered: 1014, Unvisited: 1014,
+			Scans: 3000, Grains: 2, Workers: 2, Wall: at(225), WallDur: 20 * time.Microsecond},
+		{Kind: KindTraversalEnd, TraversalID: 3, Root: 9, Engine: "sharded(2,hybrid(14,24))", Dir: DirNone,
+			Discovered: 1024, Scans: 16384, Wall: at(250), WallDur: 50 * time.Microsecond},
 	}
 }
 
@@ -109,21 +148,32 @@ func TestTraceWriterOutputValidates(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ValidateTrace rejected TraceWriter output: %v", err)
 	}
-	if s.Levels != 4 || s.SimSteps != 4 || s.Handoffs != 1 || s.Switches != 2 || s.Faults != 1 {
-		t.Errorf("summary = %+v, want 4 levels, 4 sim steps, 1 handoff, 2 switches, 1 fault", s)
+	if s.Levels != 6 || s.SimSteps != 4 || s.Handoffs != 1 || s.Switches != 3 || s.Faults != 1 {
+		t.Errorf("summary = %+v, want 6 levels, 4 sim steps, 1 handoff, 3 switches, 1 fault", s)
+	}
+	if s.Exchanges != 4 || s.Collectives != 2 || s.GhostUpdates != 2 {
+		t.Errorf("summary = %+v, want 4 exchanges, 2 collectives, 2 ghost updates", s)
 	}
 	if s.Processes[1] != "host" || s.Processes[2] != "interconnect" {
 		t.Errorf("reserved lanes missing: %v", s.Processes)
 	}
 
-	// The per-level record must reconstruct the traversal's exact
-	// TD→BU→TD switch schedule — the acceptance criterion bfsrun
-	// -trace and make trace-smoke rely on.
-	wantDirs := []string{"TD", "TD", "BU", "TD"}
+	// The per-level record must reconstruct each traversal's exact
+	// switch schedule — the acceptance criterion bfsrun -trace and
+	// make trace-smoke rely on. The hybrid traversal ran TD,TD,BU,TD
+	// and the sharded one TD,BU; each is its own lane.
+	wantByLen := map[int][]string{
+		4: {"TD", "TD", "BU", "TD"},
+		2: {"TD", "BU"},
+	}
+	if len(s.LevelDirs) != 2 {
+		t.Fatalf("%d traversal lanes, want 2", len(s.LevelDirs))
+	}
 	for _, tid := range TimelineIDs(s.LevelDirs) {
 		dirs := s.LevelDirs[tid]
-		if len(dirs) != len(wantDirs) {
-			t.Fatalf("tid %d has %d levels, want %d", tid, len(dirs), len(wantDirs))
+		wantDirs, ok := wantByLen[len(dirs)]
+		if !ok {
+			t.Fatalf("tid %d has %d levels, want 4 or 2", tid, len(dirs))
 		}
 		for i := range dirs {
 			if dirs[i] != wantDirs[i] {
@@ -131,6 +181,7 @@ func TestTraceWriterOutputValidates(t *testing.T) {
 			}
 		}
 	}
+	wantDirs := wantByLen[4]
 	if got := SwitchSteps(wantDirs); len(got) != 2 || got[0] != 3 || got[1] != 4 {
 		t.Errorf("SwitchSteps = %v, want [3 4]", got)
 	}
@@ -186,7 +237,12 @@ func TestValidateTraceRejects(t *testing.T) {
 		"X without dur":    `{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":1}]}`,
 		"level bad dir":    `{"traceEvents":[{"name":"x","cat":"level","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"step":1,"dir":"sideways"}}]}`,
 		"level no step":    `{"traceEvents":[{"name":"x","cat":"level","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"dir":"TD"}}]}`,
-		"handoff no bytes": `{"traceEvents":[{"name":"x","cat":"handoff","ph":"X","ts":0,"dur":1,"pid":2,"tid":1,"args":{}}]}`,
+		"handoff no bytes":   `{"traceEvents":[{"name":"x","cat":"handoff","ph":"X","ts":0,"dur":1,"pid":2,"tid":1,"args":{}}]}`,
+		"exchange no bytes":  `{"traceEvents":[{"name":"x","cat":"exchange","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"rank":0}}]}`,
+		"exchange no rank":   `{"traceEvents":[{"name":"x","cat":"exchange","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"bytes":8}}]}`,
+		"collective no step": `{"traceEvents":[{"name":"x","cat":"collective","ph":"i","ts":0,"pid":1,"tid":1,"args":{"dir":"TD"}}]}`,
+		"collective bad dir": `{"traceEvents":[{"name":"x","cat":"collective","ph":"i","ts":0,"pid":1,"tid":1,"args":{"step":1,"dir":"sideways"}}]}`,
+		"ghost no rank":      `{"traceEvents":[{"name":"x","cat":"ghost","ph":"i","ts":0,"pid":1,"tid":1,"args":{"step":1}}]}`,
 		"step gap": `{"traceEvents":[
 			{"name":"a","cat":"level","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"step":1,"dir":"TD"}},
 			{"name":"b","cat":"level","ph":"X","ts":2,"dur":1,"pid":1,"tid":1,"args":{"step":3,"dir":"TD"}}]}`,

@@ -1,0 +1,153 @@
+package part
+
+import (
+	"testing"
+
+	"crossbfs/internal/graph"
+	"crossbfs/internal/rmat"
+)
+
+func rmatGraph(t *testing.T, scale, ef int, seed uint64) *graph.CSR {
+	t.Helper()
+	p := rmat.DefaultParams(scale, ef)
+	p.Seed = seed
+	g, err := rmat.Generate(p)
+	if err != nil {
+		t.Fatalf("rmat.Generate: %v", err)
+	}
+	return g
+}
+
+func lattice(t *testing.T, side int) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	id := func(x, y int) int32 { return int32(x*side + y) }
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			if x+1 < side {
+				edges = append(edges, graph.Edge{From: id(x, y), To: id(x+1, y)})
+			}
+			if y+1 < side {
+				edges = append(edges, graph.Edge{From: id(x, y), To: id(x, y+1)})
+			}
+		}
+	}
+	g, err := graph.Build(side*side, edges, graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatalf("graph.Build: %v", err)
+	}
+	return g
+}
+
+func TestPartitionValidates(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"rmat10":    rmatGraph(t, 10, 8, 1),
+		"rmat8":     rmatGraph(t, 8, 16, 5),
+		"lattice20": lattice(t, 20),
+	}
+	for name, g := range graphs {
+		for _, ranks := range []int{1, 2, 3, 4, 8, 16} {
+			p, err := Partition(g, ranks)
+			if err != nil {
+				t.Fatalf("%s ranks=%d: %v", name, ranks, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s ranks=%d: %v", name, ranks, err)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadRanks(t *testing.T) {
+	g := lattice(t, 4)
+	for _, ranks := range []int{0, -1} {
+		if _, err := Partition(g, ranks); err == nil {
+			t.Errorf("ranks=%d accepted", ranks)
+		}
+	}
+}
+
+func TestPartitionEdgeBalance(t *testing.T) {
+	// On an R-MAT graph the edge-balanced cut must do much better than
+	// a naive vertex-count cut would: no rank should hold more than
+	// ~2.5x its fair share of adjacency entries (alignment and the
+	// heavy head of the degree distribution cost some slack).
+	g := rmatGraph(t, 12, 16, 3)
+	const ranks = 4
+	p, err := Partition(g, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := float64(g.NumEdges()) / ranks
+	for r, s := range p.Shards {
+		edges := float64(len(s.Sub.Adj))
+		if edges > 2.5*fair {
+			t.Errorf("rank %d holds %.0f adjacency entries, fair share %.0f", r, edges, fair)
+		}
+	}
+}
+
+func TestWordRangesDisjoint(t *testing.T) {
+	g := rmatGraph(t, 10, 8, 2)
+	for _, ranks := range []int{2, 3, 7} {
+		p, err := Partition(g, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevHi := 0
+		for r := 0; r < ranks; r++ {
+			lo, hi := p.Layout.WordRange(r)
+			if lo < prevHi {
+				t.Fatalf("ranks=%d: rank %d word range [%d,%d) overlaps previous end %d", ranks, r, lo, hi, prevHi)
+			}
+			if hi > lo {
+				prevHi = hi
+			}
+		}
+	}
+}
+
+func TestOwnerAndZeroCopy(t *testing.T) {
+	g := rmatGraph(t, 9, 8, 4)
+	p, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < g.NumVertices(); v++ {
+		r := p.Layout.Owner(v)
+		if !p.Shards[r].Owns(v) {
+			t.Fatalf("Owner(%d) = %d but shard does not own it", v, r)
+		}
+	}
+	// Zero-copy contract: each shard's Adj aliases the parent storage.
+	for _, s := range p.Shards {
+		if len(s.Sub.Adj) == 0 {
+			continue
+		}
+		base := g.Offsets[s.Lo]
+		if &s.Sub.Adj[0] != &g.Adj[base] {
+			t.Fatalf("rank %d Adj is a copy, want alias", s.Rank)
+		}
+	}
+}
+
+func TestHasGhost(t *testing.T) {
+	g := lattice(t, 10) // 100 vertices; with 64-alignment, 2 ranks split 64/36
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Shards {
+		for _, u := range s.Ghosts {
+			if !s.HasGhost(u) {
+				t.Fatalf("rank %d: HasGhost(%d) = false for listed ghost", s.Rank, u)
+			}
+			if s.Owns(u) {
+				t.Fatalf("rank %d: owned vertex %d in ghost set", s.Rank, u)
+			}
+		}
+		if s.HasGhost(s.Lo) && s.NumOwned() > 0 {
+			t.Fatalf("rank %d: owned vertex reported as ghost", s.Rank)
+		}
+	}
+}
