@@ -1,10 +1,11 @@
 # Verification entry points for crossbfs. `make verify` is the gate
 # the repo's CI-equivalent runs: vet, the project's own analyzers, the
-# unit suite, and the race detector over the concurrent core.
+# unit suite, the race detector over the concurrent core, the trace
+# smoke, and the sharded fault-injection chaos suite.
 
 GO ?= go
 
-.PHONY: all build test lint lint-json race trace-smoke bench-report verify fuzz fuzz-faults
+.PHONY: all build test lint lint-json race trace-smoke chaos bench-report verify fuzz fuzz-faults
 
 all: verify
 
@@ -44,6 +45,15 @@ trace-smoke:
 	$(GO) run ./cmd/bfsrun -scale 14 -edgefactor 8 -plan cputd+gpucb -levels=false -trace $(TRACEOUT)
 	$(GO) run ./cmd/tracecheck $(TRACEOUT)
 
+# chaos is the fault-tolerance gate: the sharded chaos suite under
+# the race detector (rank crashes, lag, dropped exchanges across the
+# graph-family × rank-count matrix, each recovered run checked against
+# the serial reference), then bfsrun's built-in injection smoke
+# matrix. See DESIGN.md §4e.
+chaos:
+	$(GO) test -race -run ShardedChaos -count=1 ./internal/bfs/
+	$(GO) run ./cmd/bfsrun -chaos
+
 # bench-report runs the benchmark suite and snapshots the numbers to
 # the next BENCH_<n>.json at the repo root, failing when any benchmark
 # regressed more than BENCHTHRESHOLD vs the previous snapshot. It is
@@ -54,7 +64,7 @@ BENCHTHRESHOLD ?= 0.35
 bench-report:
 	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -threshold $(BENCHTHRESHOLD)
 
-verify: build lint test race trace-smoke
+verify: build lint test race trace-smoke chaos
 
 # fuzz gives the heuristic-switch fuzzer a short budget; CI-style
 # smoke, not a soak. Override FUZZTIME for longer runs.

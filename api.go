@@ -200,6 +200,10 @@ type (
 	FaultRecord = core.FaultRecord
 	// ResilientOptions configure fault-tolerant plan execution.
 	ResilientOptions = core.ResilientOptions
+	// RecoveryStats summarizes the fault-tolerance work of one sharded
+	// traversal (Result.Recovery): ranks fenced, recoveries replayed,
+	// exchange retries, checkpoint volume.
+	RecoveryStats = bfs.RecoveryStats
 )
 
 // ParseFaultSchedule builds a schedule from the CLI grammar, e.g.
@@ -249,6 +253,19 @@ func BFSEachContext(ctx context.Context, g *Graph, roots []int32, opts ManyOptio
 func ExecuteResilient(ctx context.Context, g *Graph, source int32, plan Plan, opts ResilientOptions) (*Result, *Timing, error) {
 	res, _, timing, err := core.ExecuteResilient(ctx, g, source, plan, archsim.PCIe(), opts)
 	return res, timing, err
+}
+
+// ExecuteShardedResilient runs the partitioned engine under a rank
+// fault schedule: crashes, lag, and dropped collectives are injected
+// at the exchange seams, survivors absorb a dead rank's shard and
+// replay the level from per-level frontier checkpoints, and the
+// returned Result (Result.Recovery reports the fault-tolerance work)
+// is validated against the same Graph 500 rules as a clean run. The
+// Timing prices the degraded traversal; if no survivor set can finish,
+// the traversal replans onto a single un-sharded device before a typed
+// *FaultError is the last resort.
+func ExecuteShardedResilient(ctx context.Context, g *Graph, source int32, plan ShardedPlan, opts ResilientOptions) (*Result, *Timing, error) {
+	return core.ExecuteShardedResilient(ctx, g, source, plan, nil, opts)
 }
 
 // ---- Observability ----

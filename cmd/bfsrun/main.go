@@ -90,6 +90,11 @@ type config struct {
 	// fabric selects the interconnect model pricing the sharded
 	// exchanges: smp, pcie, or eth10g.
 	fabric string
+	// chaos runs the deterministic chaos smoke suite instead of a
+	// normal traversal: fixed rank-fault scenarios on small graphs,
+	// each checked against the serial reference, nonzero exit on any
+	// mismatch. Used by `make chaos`.
+	chaos bool
 }
 
 func main() {
@@ -119,6 +124,7 @@ func main() {
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.IntVar(&cfg.shards, "shards", 0, "also run the partitioned engine with this many ranks (0 = off)")
 	flag.StringVar(&cfg.fabric, "fabric", "smp", "fabric model pricing sharded exchanges: smp, pcie, eth10g")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "run the deterministic rank-fault chaos smoke suite and exit")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg); err != nil {
@@ -128,6 +134,9 @@ func main() {
 }
 
 func run(ctx context.Context, cfg config) error {
+	if cfg.chaos {
+		return runChaos(ctx, cfg)
+	}
 	// Validate the cheap inputs (plan name, fault spec) before paying
 	// for graph generation.
 	plans, err := selectPlans(cfg.planName, cfg.m1, cfg.n1, cfg.m2, cfg.n2)
@@ -229,7 +238,7 @@ func run(ctx context.Context, cfg config) error {
 		return err
 	}
 	if cfg.shards > 0 {
-		if err := runSharded(ctx, cfg, g, src, tel.rec); err != nil {
+		if err := runSharded(ctx, cfg, g, src, sched, tel.rec); err != nil {
 			return err
 		}
 	}
@@ -444,8 +453,12 @@ func price(tr *bfs.Trace, pl core.Plan, link archsim.Link, sched *fault.Schedule
 
 // runSharded executes the partitioned engine for real and prints the
 // per-level exchange volumes priced through the selected fabric — the
-// communication-vs-computation view of the 1D-sharded traversal.
-func runSharded(ctx context.Context, cfg config, g *graph.CSR, src int32, rec obs.Recorder) error {
+// communication-vs-computation view of the 1D-sharded traversal. With
+// a -faults schedule the ranks run under injection: crashes, lag, and
+// dropped collectives hit the exchange seams, survivors recover from
+// checkpoints, and the report carries the rank fault log and a
+// RECOVERED (or FAILED) verdict instead of assuming a clean run.
+func runSharded(ctx context.Context, cfg config, g *graph.CSR, src int32, sched *fault.Schedule, rec obs.Recorder) error {
 	fab, err := pickFabric(cfg.fabric, cfg.shards)
 	if err != nil {
 		return err
@@ -458,13 +471,34 @@ func runSharded(ctx context.Context, cfg config, g *graph.CSR, src int32, rec ob
 		N:      cfg.n1,
 	}
 	start := time.Now()
-	res, timing, err := core.ExecuteSharded(ctx, g, src, plan, nil, rec)
+	var res *bfs.Result
+	var timing *core.Timing
+	if sched != nil {
+		res, timing, err = core.ExecuteShardedResilient(ctx, g, src, plan, nil,
+			core.ResilientOptions{Schedule: sched, Recorder: rec})
+	} else {
+		res, timing, err = core.ExecuteSharded(ctx, g, src, plan, nil, rec)
+	}
 	if err != nil {
+		var fe *fault.Error
+		if errors.As(err, &fe) {
+			// Even the single-device fallback could not finish: report
+			// the failed row the way the plan table does and move on.
+			fmt.Printf("\nsharded: %d ranks over %s\tFAILED\t%v\n", cfg.shards, fab.Name, err)
+			return nil
+		}
 		return err
 	}
 	wall := time.Since(start)
 	fmt.Printf("\nsharded: %d ranks over %s, wall %.6fs, modeled %.6fs (%.6fs on the fabric), GTEPS %.3f\n",
 		cfg.shards, fab.Name, wall.Seconds(), timing.Total, timing.Transfers, timing.GTEPS())
+	if rv := res.Recovery; rv.RanksLost > 0 || rv.ExchangeRetries > 0 {
+		fmt.Printf("\tRECOVERED: %d rank(s) lost, %d recoveries, %d exchange retries, %dB checkpointed\n",
+			rv.RanksLost, rv.Recoveries, rv.ExchangeRetries, rv.CheckpointBytes)
+	}
+	for _, f := range timing.Faults {
+		fmt.Printf("\tfault: %s\n", f)
+	}
 	if !cfg.perLevel {
 		return nil
 	}
@@ -476,6 +510,90 @@ func runSharded(ctx context.Context, cfg config, g *graph.CSR, src int32, rec ob
 			st.Kernel, st.Transfer)
 	}
 	return w.Flush()
+}
+
+// runChaos is the -chaos smoke suite: a fixed matrix of rank-fault
+// scenarios on a small R-MAT graph, every surviving traversal checked
+// level-for-level against the serial reference and through the Graph
+// 500 validator. Scenarios are deterministic (fixed seeds, scheduled
+// crash levels), so a failure here is a recovery-protocol bug, not
+// flakiness. Any mismatch makes the run return an error (exit 1).
+func runChaos(ctx context.Context, cfg config) error {
+	p := rmat.DefaultParams(10, 8)
+	p.Seed = cfg.seed
+	g, err := rmat.Generate(p)
+	if err != nil {
+		return err
+	}
+	src, err := pickSource(g, cfg.source)
+	if err != nil {
+		return err
+	}
+	ref, err := bfs.Serial(g, src)
+	if err != nil {
+		return err
+	}
+	scenarios := []string{
+		"rankcrash:1@2",
+		"rankcrash:0@1",
+		"rankcrash:0@2;rankcrash:2@3",
+		"ranklag:1x4@2",
+		"exchdrop:0.25",
+		"rankcrash:1@3;exchdrop:0.2",
+	}
+	fmt.Printf("chaos: scale-10 R-MAT, %d vertices, source %d, %d scenarios x ranks {2,4}\n",
+		g.NumVertices(), src, len(scenarios))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	failures := 0
+	for _, spec := range scenarios {
+		for _, ranks := range []int{2, 4} {
+			sched, err := fault.Parse(spec, cfg.faultSeed)
+			if err != nil {
+				return err
+			}
+			plan := core.ShardedPlan{
+				Device: archsim.SandyBridge(), Ranks: ranks,
+				Fabric: archsim.SMP(ranks), M: cfg.m1, N: cfg.n1,
+			}
+			res, _, err := core.ExecuteShardedResilient(ctx, g, src, plan, nil,
+				core.ResilientOptions{Schedule: sched})
+			verdict := chaosVerdict(g, ref, res, err)
+			if strings.HasPrefix(verdict, "FAIL") {
+				failures++
+			}
+			rv := bfs.RecoveryStats{}
+			if res != nil {
+				rv = res.Recovery
+			}
+			fmt.Fprintf(w, "\t%s\tranks=%d\t%s\tlost=%d recoveries=%d retries=%d ckpt=%dB\n",
+				spec, ranks, verdict, rv.RanksLost, rv.Recoveries, rv.ExchangeRetries, rv.CheckpointBytes)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if failures > 0 {
+		return fmt.Errorf("chaos: %d scenario(s) failed", failures)
+	}
+	fmt.Println("chaos: all scenarios recovered and matched the serial reference")
+	return nil
+}
+
+// chaosVerdict grades one chaos scenario: the traversal must complete
+// (recovering if it must) and agree with the serial reference exactly.
+func chaosVerdict(g *graph.CSR, ref, res *bfs.Result, err error) string {
+	if err != nil {
+		return fmt.Sprintf("FAIL (%v)", err)
+	}
+	if err := bfs.Validate(g, res); err != nil {
+		return fmt.Sprintf("FAIL (validate: %v)", err)
+	}
+	for v := range ref.Level {
+		if ref.Level[v] != res.Level[v] {
+			return fmt.Sprintf("FAIL (level[%d]=%d, serial %d)", v, res.Level[v], ref.Level[v])
+		}
+	}
+	return "OK"
 }
 
 // pickFabric maps the -fabric flag to its archsim model.

@@ -6,8 +6,8 @@
 //	experiments -run fig8
 //
 // Experiment ids: fig1, fig2, fig3, table3, fig8, table4, table5,
-// fig9, fig10a, fig10b, table6, comparisons, faults, all. See
-// EXPERIMENTS.md for the paper-vs-measured record.
+// fig9, fig10a, fig10b, table6, comparisons, faults, recovery, all.
+// See EXPERIMENTS.md for the paper-vs-measured record.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, sharded, realtable4, faults, all)")
+		run        = flag.String("run", "all", "experiment id (fig1, fig2, fig3, table3, fig8, table4, table5, fig9, fig10a, fig10b, table6, comparisons, heuristics, multi, sharded, realtable4, faults, recovery, all)")
 		scale      = flag.Int("scale", 0, "override base SCALE (default 17)")
 		edgeFactor = flag.Int("edgefactor", 0, "override base edge factor (default 16)")
 		seed       = flag.Uint64("seed", 0, "override R-MAT seed (default 1)")
@@ -279,6 +279,15 @@ func runOne(ctx context.Context, id string, cfg exp.Config, opts runOpts) error 
 			return err
 		}
 		return exp.RenderSharded(w, rows)
+	case "recovery":
+		rows, err := exp.Recovery(ctx, cfg, opts.faultSpec, opts.faultSeed)
+		if err != nil {
+			return err
+		}
+		if err := emit(func(cw io.Writer) error { return exp.RecoveryCSV(cw, rows) }); err != nil {
+			return err
+		}
+		return exp.RenderRecovery(w, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

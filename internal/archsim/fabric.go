@@ -153,3 +153,25 @@ func (f *Fabric) AllReduceTime(payloadBytes int64) float64 {
 func (f *Fabric) ExchangeTime(frontierBytesPerRank, ghostBytesTotal int64) float64 {
 	return f.AllReduceTime(32) + f.AllGatherTime(frontierBytesPerRank) + f.AllToAllTime(ghostBytesTotal)
 }
+
+// DegradeRank returns a copy of the fabric with every link touching
+// rank r derated by factor (bandwidth divided, latency multiplied —
+// see Link.Degraded). This is how the simulator prices a lagging or
+// recovering rank: its traffic rides damaged wires while the rest of
+// the fabric is untouched. Factors <= 1 return an identical copy.
+func (f *Fabric) DegradeRank(r int, factor float64) *Fabric {
+	n := f.Ranks()
+	links := make([][]Link, n)
+	for i := range links {
+		links[i] = append([]Link(nil), f.links[i]...)
+	}
+	if r >= 0 && r < n {
+		for j := 0; j < n; j++ {
+			if j != r {
+				links[r][j] = links[r][j].Degraded(factor)
+				links[j][r] = links[j][r].Degraded(factor)
+			}
+		}
+	}
+	return &Fabric{Name: f.Name, links: links}
+}

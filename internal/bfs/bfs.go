@@ -70,6 +70,11 @@ type Result struct {
 	// TraversedEdges counts adjacency entries of all reachable
 	// vertices; TEPS = TraversedEdges / time per Graph 500.
 	TraversedEdges int64
+	// Recovery summarizes fault-tolerance work done by a sharded
+	// traversal running under a rank-fault schedule: ranks fenced,
+	// recoveries replayed, exchange retries, checkpoint volume. Zero
+	// for every other engine and for fault-free sharded runs.
+	Recovery RecoveryStats
 }
 
 // ExchangeStats is one level's cross-rank communication summary from a

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crossbfs/internal/bitmap"
+	"crossbfs/internal/fault"
 	"crossbfs/internal/graph"
 	"crossbfs/internal/invariant"
 	"crossbfs/internal/obs"
@@ -55,6 +56,14 @@ type Sharded struct {
 	name            string
 	checkInvariants bool
 
+	// faults is the rank-fault injection schedule; when it carries
+	// rank-targeted events (fault.Schedule.HasRankFaults) the engine
+	// arms its fault-tolerance machinery: per-level frontier
+	// checkpoints, the barrier watchdog, and survivor recovery. See
+	// sharded_ft.go and DESIGN.md §4e.
+	faults *fault.Schedule
+	ftOpts FTOptions
+
 	// Partition cache: RunMany-style workloads traverse one graph from
 	// many roots, and the partition depends only on (graph, ranks).
 	mu      sync.Mutex
@@ -85,6 +94,18 @@ func NewShardedAdaptive(ranks int, inner string, newPolicy func() Policy) *Shard
 
 // Ranks returns the engine's rank count.
 func (e *Sharded) Ranks() int { return e.ranks }
+
+// SetFaults installs a fault-injection schedule. Schedules carrying
+// rank-targeted events (rankcrash/ranklag/exchdrop) arm the engine's
+// checkpoint-and-recover machinery; device-level kinds are ignored
+// here (they belong to the simulator ladder in internal/core). Like
+// the Schedule itself, an engine with faults installed must not run
+// concurrent traversals.
+func (e *Sharded) SetFaults(s *fault.Schedule) { e.faults = s }
+
+// SetFTOptions overrides the fault-tolerance tuning knobs (timeouts,
+// backoff, lag unit). Zero fields keep their defaults.
+func (e *Sharded) SetFTOptions(o FTOptions) { e.ftOpts = o }
 
 // SetCheckInvariants toggles the post-traversal parent-tree check.
 func (e *Sharded) SetCheckInvariants(on bool) { e.checkInvariants = on }
@@ -180,12 +201,23 @@ func (e *Sharded) RunObserved(ctx context.Context, g *graph.CSR, source int32, w
 		prevDir:  Direction(-1),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if e.faults.HasRankFaults() {
+		e.faults.Reset()
+		c.ft = newShardedFT(e.faults, e.ftOpts, e.ranks)
+	}
 
 	states := make([]*rankState, e.ranks)
 	for i := range states {
 		states[i] = getRankState(e.ranks, g.NumVertices())
 	}
 	var wg sync.WaitGroup
+	if c.ft != nil {
+		// The watchdog signals its own exit through ft.wdDone; keeping
+		// its lifecycle state off this frame keeps the no-fault path
+		// free of the escape-analysis allocation a captured WaitGroup
+		// would cost every traversal.
+		go c.watchdog(c.ft.wdStop)
+	}
 	//lint:ctx-ok each rank checks ctx every level and every ctxStride kernel iterations; the spawn loop itself is O(ranks)
 	for rank := 0; rank < e.ranks; rank++ {
 		wg.Add(1)
@@ -205,6 +237,11 @@ func (e *Sharded) RunObserved(ctx context.Context, g *graph.CSR, source int32, w
 	// cancellation, and panic alike — so the workspace and the pooled
 	// rank states are quiescent whenever the caller sees them again.
 	wg.Wait()
+	if c.ft != nil {
+		close(c.ft.wdStop)
+		<-c.ft.wdDone
+		r.Recovery = c.ft.stats
+	}
 	for _, rs := range states {
 		putRankState(rs)
 	}
@@ -231,6 +268,13 @@ type rankState struct {
 	out         [][]int32
 	delta       []byte
 	front       *bitmap.Bitmap
+
+	// Fault-tolerance scratch, touched only by rankLoopFT: ck is the
+	// checkpoint encode/decode bitmap, segDeltas the per-owned-segment
+	// bottom-up delta buffers (indexed by segment id; a rank may own
+	// several segments after adopting a dead rank's range).
+	ck        *bitmap.Bitmap
+	segDeltas [][]byte
 }
 
 // rankStatePool recycles rank states across traversals (and across
@@ -279,6 +323,11 @@ type shardedRun struct {
 	gen     uint64
 	err     error
 
+	// ft is the fault-tolerance state, nil unless the installed
+	// schedule carries rank faults — the no-fault hot path never
+	// branches past this nil check. Guarded by mu. See sharded_ft.go.
+	ft *shardedFT
+
 	// Collective state, mutated only under mu. The choose round sums
 	// the frontier quantities on arrival and the leader runs the
 	// policy; the end round sums the level outcome and the leader
@@ -314,18 +363,46 @@ func (c *shardedRun) fail(err error) {
 // leader, and then all are released. Any rank's fail() aborts every
 // waiter with the recorded error, and a rank arriving after a failure
 // returns it immediately — so no round can deadlock on a dead rank.
-func (c *shardedRun) round(arrive, leader func()) error {
+//
+// Under fault tolerance (c.ft != nil) membership is dynamic: the
+// round completes when every *live* rank has arrived, and epoch is
+// the caller's view of the membership generation. A caller holding a
+// stale epoch is rejected before it can contribute (errEpochChanged →
+// it unwinds into recovery and re-arrives with fresh sums), and a
+// fenced caller gets errFenced and exits. Both checks happen again
+// after the wait, so a fence mid-round aborts every waiter — unless
+// the round already completed, in which case the membership change
+// surfaces at the next round's entry so all survivors agree on the
+// replay level.
+func (c *shardedRun) round(rank int, epoch uint64, arrive, leader func()) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
 		return c.err
 	}
+	ft := c.ft
+	target := c.ranks
+	if ft != nil {
+		if ft.dead[rank] {
+			return errFenced
+		}
+		if ft.epoch != epoch {
+			return errEpochChanged
+		}
+		ft.present[rank] = true
+		target = ft.live
+	}
 	if arrive != nil {
 		arrive()
 	}
 	c.arrived++
-	if c.arrived == c.ranks {
+	if c.arrived >= target {
 		c.arrived = 0
+		if ft != nil {
+			for i := range ft.present {
+				ft.present[i] = false
+			}
+		}
 		if leader != nil {
 			leader()
 		}
@@ -334,10 +411,19 @@ func (c *shardedRun) round(arrive, leader func()) error {
 		return c.err
 	}
 	gen := c.gen
-	for c.gen == gen && c.err == nil {
+	for c.gen == gen && c.err == nil && (ft == nil || (ft.epoch == epoch && !ft.dead[rank])) {
 		c.cond.Wait()
 	}
-	return c.err
+	if c.err != nil {
+		return c.err
+	}
+	if c.gen != gen {
+		return nil
+	}
+	if ft.dead[rank] {
+		return errFenced
+	}
+	return errEpochChanged
 }
 
 // ctxStride is how many kernel iterations run between context checks
@@ -347,6 +433,13 @@ const ctxStride = 4096
 // rankLoop is one rank's whole traversal. Any error has been published
 // via fail (or observed from a round) by the time it returns.
 func (c *shardedRun) rankLoop(rank int, rs *rankState) {
+	if c.ft != nil {
+		// Fault tolerance swaps in the multi-segment kernels and the
+		// checkpoint/recovery loop; the no-fault hot path below stays
+		// untouched.
+		c.rankLoopFT(rank, rs)
+		return
+	}
 	sh := c.p.Shards[rank]
 	lo, hi := int(sh.Lo), int(sh.Hi)
 	loW, hiW := c.p.Layout.WordRange(rank)
@@ -376,7 +469,7 @@ func (c *shardedRun) rankLoop(rank int, rs *rankState) {
 				ecq += sub.Degree(v - int32(lo))
 			}
 		}
-		dir, runDone, err := c.chooseRound(int64(len(queue)), ecq, unvisitedLocal, step)
+		dir, runDone, err := c.chooseRound(rank, 0, int64(len(queue)), ecq, unvisitedLocal, step)
 		if err != nil || runDone {
 			return
 		}
@@ -422,7 +515,7 @@ func (c *shardedRun) rankLoop(rank int, rs *rankState) {
 			// Exchange: barrier so every outbox is complete, then apply
 			// the claims addressed to this rank.
 			applyGhosts := func() error {
-				if err := c.round(nil, nil); err != nil {
+				if err := c.round(rank, 0, nil, nil); err != nil {
 					return err
 				}
 				for s := 0; s < c.ranks; s++ {
@@ -471,7 +564,7 @@ func (c *shardedRun) rankLoop(rank int, rs *rankState) {
 				frontierBytes = int64(len(delta))
 			}
 			gatherFrontier := func() error {
-				if err := c.round(nil, nil); err != nil {
+				if err := c.round(rank, 0, nil, nil); err != nil {
 					return err
 				}
 				for s := 0; s < c.ranks; s++ {
@@ -520,7 +613,7 @@ func (c *shardedRun) rankLoop(rank int, rs *rankState) {
 			return
 		}
 
-		if err := c.endRound(step, dir, found, scans, frontierBytes, ghostSentBytes, ghostRecv, ghostApplied); err != nil {
+		if err := c.endRound(rank, 0, step, dir, found, scans, frontierBytes, ghostSentBytes, ghostRecv, ghostApplied); err != nil {
 			return
 		}
 		unvisitedLocal -= found
@@ -533,8 +626,8 @@ func (c *shardedRun) rankLoop(rank int, rs *rankState) {
 // run the switching policy on the global sums. It returns the
 // collective direction and whether the traversal is complete (global
 // frontier empty).
-func (c *shardedRun) chooseRound(vcq, ecq, unvisitedLocal int64, step int32) (Direction, bool, error) {
-	err := c.round(func() {
+func (c *shardedRun) chooseRound(rank int, epoch uint64, vcq, ecq, unvisitedLocal int64, step int32) (Direction, bool, error) {
+	err := c.round(rank, epoch, func() {
 		c.vcq += vcq
 		c.ecq += ecq
 		c.unvisited += unvisitedLocal
@@ -592,8 +685,8 @@ func (c *shardedRun) chooseRound(vcq, ecq, unvisitedLocal int64, step int32) (Di
 // endRound all-reduces the level outcome; the leader appends the
 // per-step direction/scan/exchange logs to the shared result and emits
 // the level event, then clears the accumulators for the next level.
-func (c *shardedRun) endRound(step int32, dir Direction, found, scans, frontierBytes, ghostSentBytes, ghostRecv, ghostApplied int64) error {
-	return c.round(func() {
+func (c *shardedRun) endRound(rank int, epoch uint64, step int32, dir Direction, found, scans, frontierBytes, ghostSentBytes, ghostRecv, ghostApplied int64) error {
+	return c.round(rank, epoch, func() {
 		c.found += found
 		c.scans += scans
 		c.frontierBytes += frontierBytes

@@ -57,6 +57,12 @@ func FuzzFaultSchedule(f *testing.F) {
 	f.Add("crash:GPU@4;transient:0.2;slow:CPU@2x1.5", uint64(6))
 	f.Add("crash:CPU@1;crash:GPU@1", uint64(7))
 	f.Add("crash:KeplerK20x@3;transient:0.9", uint64(8))
+	f.Add("rankcrash:1@2", uint64(9))
+	f.Add("rankcrash:0@1;rankcrash:1@2", uint64(10))
+	f.Add("ranklag:0x3@2", uint64(11))
+	f.Add("exchdrop:0.4", uint64(12))
+	f.Add("exchdrop:1", uint64(13))
+	f.Add("rankcrash:1@2;ranklag:0x2;exchdrop:0.1;crash:GPU@4", uint64(14))
 
 	f.Fuzz(func(t *testing.T, spec string, seed uint64) {
 		sched, err := fault.Parse(spec, seed)
@@ -91,6 +97,39 @@ func FuzzFaultSchedule(f *testing.F) {
 		}
 		if math.IsNaN(timing.Total) || math.IsInf(timing.Total, 0) || timing.Total < 0 {
 			t.Fatalf("spec %q: timing total = %g", spec, timing.Total)
+		}
+
+		// The sharded executor must honor the same contract under the
+		// schedule's rank faults: recover onto survivors or escalate,
+		// never panic, never return a wrong traversal. The schedule is
+		// re-parsed because a Schedule is stateful and single-owner.
+		shardSched, err := fault.Parse(spec, seed)
+		if err != nil {
+			t.Skip()
+		}
+		shardPlan := ShardedPlan{
+			Device: archsim.SandyBridge(), Ranks: 2,
+			Fabric: archsim.SMP(2), M: 64, N: 64,
+		}
+		sres, stiming, err := ExecuteShardedResilient(context.Background(), fuzzG, fuzzSrc, shardPlan, nil,
+			ResilientOptions{Schedule: shardSched})
+		if err != nil {
+			var fe *fault.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("spec %q (sharded): error is %v (%T), want *fault.Error", spec, err, err)
+			}
+			return
+		}
+		if err := bfs.Validate(fuzzG, sres); err != nil {
+			t.Fatalf("spec %q (sharded): invalid traversal: %v", spec, err)
+		}
+		for v := range sres.Level {
+			if sres.Level[v] != fuzzRef.Level[v] {
+				t.Fatalf("spec %q (sharded): Level[%d] = %d, want %d", spec, v, sres.Level[v], fuzzRef.Level[v])
+			}
+		}
+		if math.IsNaN(stiming.Total) || math.IsInf(stiming.Total, 0) || stiming.Total < 0 {
+			t.Fatalf("spec %q (sharded): timing total = %g", spec, stiming.Total)
 		}
 	})
 }

@@ -81,8 +81,9 @@ type FaultRecord struct {
 	Step   int
 	Kind   fault.Kind
 	Device string
-	// Action is the ladder rung taken: "retry", "replan", "slowdown",
-	// or "fatal".
+	// Action is the ladder rung taken: "retry", "recover" (sharded
+	// survivors absorbing a dead rank), "replan", "slowdown", or
+	// "fatal".
 	Action string
 	Detail string
 }

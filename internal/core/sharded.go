@@ -34,16 +34,20 @@ func (p ShardedPlan) Name() string {
 // Validate reports whether the plan is usable.
 func (p ShardedPlan) Validate() error {
 	if p.Ranks < 1 {
+		//lint:fault-ok argument validation, not a modeled fault; nothing to wrap
 		return fmt.Errorf("core: sharded plan needs >= 1 rank, got %d", p.Ranks)
 	}
 	if p.Fabric == nil {
+		//lint:fault-ok argument validation, not a modeled fault; nothing to wrap
 		return fmt.Errorf("core: sharded plan needs a fabric")
 	}
 	if p.Fabric.Ranks() != p.Ranks {
+		//lint:fault-ok argument validation, not a modeled fault; nothing to wrap
 		return fmt.Errorf("core: sharded plan has %d ranks but a %d-rank fabric",
 			p.Ranks, p.Fabric.Ranks())
 	}
 	if p.M <= 0 || p.N <= 0 {
+		//lint:fault-ok argument validation, not a modeled fault; nothing to wrap
 		return fmt.Errorf("core: sharded thresholds must be positive")
 	}
 	return nil

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"crossbfs/internal/archsim"
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/fault"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
+)
+
+// SimulateShardedResilient prices a sharded traversal under a rank
+// fault schedule, mirroring the degradation the real engine performs
+// (bfs.Sharded with SetFaults):
+//
+//   - a rank crashed by a step is removed from the partition: the
+//     survivors absorb its shard, so the per-step kernel charges the
+//     slowest of the remaining live ranks (1/live of the work) plus a
+//     one-time recovery surcharge at the death step — the replayed
+//     level's kernel and the checkpoint-restore all-gather;
+//   - a lagging rank stretches its step by the lag factor and rides
+//     degraded fabric links (archsim.Fabric.DegradeRank), so every
+//     collective it joins is priced on the damaged wires;
+//   - an exchange-drop probability inflates every level's exchange by
+//     the expected attempt count under the engine's capped-backoff
+//     retry policy, and adds the expected backoff wait.
+//
+// With a schedule free of rank faults the result is identical to
+// SimulateSharded. When every rank is dead the partial Timing is
+// returned together with a *fault.Error — the caller's cue to
+// escalate to a non-sharded plan (see ExecuteShardedResilient).
+func SimulateShardedResilient(tr *bfs.Trace, exch []bfs.ExchangeStats, plan ShardedPlan, opts ResilientOptions) (*Timing, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if len(exch) != len(tr.Steps) {
+		//lint:fault-ok argument validation, not a modeled fault; nothing to wrap
+		return nil, fmt.Errorf("core: %d exchange records for a %d-step trace (run the sharded engine to collect them)",
+			len(exch), len(tr.Steps))
+	}
+	opts = opts.withDefaults()
+	sched := opts.Schedule
+	t := &Timing{
+		Plan:         plan.Name(),
+		Steps:        make([]StepTiming, 0, len(tr.Steps)),
+		EdgesVisited: tr.EdgesVisited,
+	}
+
+	rec := opts.Recorder
+	live := obs.Live(rec)
+	var id uint64
+	if live {
+		if id = opts.TraversalID; id == 0 {
+			id = obs.NextTraversalID()
+		}
+		rec.Event(obs.Event{
+			Kind: obs.KindPlanStart, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Dir: obs.DirNone,
+		})
+		// Deferred closer: the all-ranks-dead rung returns early with
+		// a *fault.Error, and the timeline must close there too.
+		defer func() {
+			rec.Event(obs.Event{
+				Kind: obs.KindPlanEnd, TraversalID: id, Root: tr.Source,
+				Engine: plan.Name(), Dir: obs.DirNone,
+				SimStart: t.Total, SimDur: t.Total,
+			})
+		}()
+	}
+	noteFault := func(fr FaultRecord) {
+		t.Faults = append(t.Faults, fr)
+		if !live {
+			return
+		}
+		kind := obs.KindFault
+		switch fr.Action {
+		case "retry":
+			kind = obs.KindRetry
+		case "recover", "replan":
+			kind = obs.KindReplan
+		}
+		rec.Event(obs.Event{
+			Kind: kind, TraversalID: id, Root: tr.Source,
+			Engine: plan.Name(), Step: int32(fr.Step), Dir: obs.DirNone,
+			Device: fr.Device, Detail: fr.Action + ": " + fr.Detail,
+			SimStart: t.Total,
+		})
+	}
+
+	// The engine retries a dropped exchange up to MaxRetries times with
+	// capped exponential backoff, so under drop probability p one
+	// collective costs an expected sum(p^k) attempts on the wire plus
+	// the expected backoff wait — both charged per level below.
+	dropP := sched.ExchangeDropProb()
+	attemptMult, backoffWait := 1.0, 0.0
+	if dropP > 0 {
+		backoff := opts.RetryBackoff
+		for k := 1; k <= opts.MaxRetries; k++ {
+			pk := math.Pow(dropP, float64(k))
+			attemptMult += pk
+			backoffWait += pk * backoff
+			if backoff *= 2; backoff > opts.BackoffCap {
+				backoff = opts.BackoffCap
+			}
+		}
+	}
+	var expectedRetries float64
+
+	dead := make([]bool, plan.Ranks)
+	liveRanks := plan.Ranks
+	for i, s := range tr.Steps {
+		ex := exch[i]
+		step := s.Step
+		// Fence every rank the schedule has crashed by this step. Each
+		// death is one membership change the survivors replay the level
+		// for; losing the last rank is fatal (the executor escalates).
+		var deaths []int
+		for r := 0; r < plan.Ranks; r++ {
+			if dead[r] {
+				continue
+			}
+			if ev, ok := sched.RankCrashedBy(r, step); ok {
+				dead[r] = true
+				liveRanks--
+				deaths = append(deaths, r)
+				t.Replans++
+				noteFault(FaultRecord{
+					Step: step, Kind: fault.RankCrash,
+					Device: fmt.Sprintf("rank%d", r), Action: "recover",
+					Detail: fmt.Sprintf("injected %s; %d survivors replay level %d", ev, liveRanks, step),
+				})
+			}
+		}
+		if liveRanks == 0 {
+			last := deaths[len(deaths)-1]
+			noteFault(FaultRecord{
+				Step: step, Kind: fault.RankCrash,
+				Device: fmt.Sprintf("rank%d", last), Action: "fatal",
+				Detail: "no surviving rank",
+			})
+			return t, &fault.Error{
+				Kind: fault.RankCrash, Device: fmt.Sprintf("rank%d", last),
+				Step: step, Reason: "no surviving rank",
+			}
+		}
+
+		// Kernel: the slowest surviving shard holds 1/live of the work,
+		// stretched by the worst lag factor still in the collective.
+		part := partitionStats(s, liveRanks)
+		lagMax := 1.0
+		fab := plan.Fabric
+		for r := 0; r < plan.Ranks; r++ {
+			if dead[r] {
+				continue
+			}
+			if f := sched.RankLagAt(r, step); f > 1 {
+				if f > lagMax {
+					lagMax = f
+				}
+				fab = fab.DegradeRank(r, f)
+			}
+		}
+		st := StepTiming{
+			Step:     step,
+			ArchName: plan.Name(),
+			Kind:     plan.Device.Kind,
+			Dir:      ex.Dir,
+			Kernel:   plan.Device.StepTime(ex.Dir, part) * lagMax,
+		}
+		if lagMax > 1 {
+			noteFault(FaultRecord{
+				Step: step, Kind: fault.RankLag, Device: plan.Name(),
+				Action: "slowdown",
+				Detail: fmt.Sprintf("collective stretched %.3gx by lagging rank", lagMax),
+			})
+		}
+		perRankDelta := ex.FrontierBytes / int64(liveRanks)
+		st.Transfer = fab.ExchangeTime(perRankDelta, ex.GhostBytes) * attemptMult
+		st.Transfer += backoffWait
+		expectedRetries += (attemptMult - 1)
+		// Recovery surcharge: each death this level makes the survivors
+		// roll back, all-gather the checkpointed frontier, and replay.
+		for range deaths {
+			st.Kernel += plan.Device.StepTime(ex.Dir, part) * lagMax
+			st.Transfer += fab.AllGatherTime(perRankDelta)
+		}
+		t.Steps = append(t.Steps, st)
+		t.Total += st.Kernel + st.Transfer
+		t.Transfers += st.Transfer
+	}
+	if expectedRetries > 0 {
+		t.Retries += int(math.Ceil(expectedRetries))
+		noteFault(FaultRecord{
+			Step: 1, Kind: fault.ExchangeDrop, Device: "fabric",
+			Action: "retry",
+			Detail: fmt.Sprintf("drop p=%.3g: expected %.2f re-attempts across %d levels", dropP, expectedRetries, len(tr.Steps)),
+		})
+	}
+	return t, nil
+}
+
+// ExecuteShardedResilient is ExecuteSharded under a fault schedule:
+// the partitioned engine runs for real with rank faults injected at
+// its exchange seams (crash, lag, dropped collectives), survivors
+// recover from per-level checkpoints, and the priced replay mirrors
+// the degradation (SimulateShardedResilient). When the engine itself
+// gives up — every rank dead, or an unrecoverable stall — the
+// traversal escalates one more rung: it replans onto a single
+// un-sharded device (the plan's Device) via ExecuteResilient, the
+// same ladder the paper's cross-architecture executor ends on. The
+// error is ctx.Err() verbatim on cancellation, a *fault.Error when
+// even the escalation could not complete, or nil.
+func ExecuteShardedResilient(ctx context.Context, g *graph.CSR, source int32, plan ShardedPlan, ws *bfs.Workspace, opts ResilientOptions) (*bfs.Result, *Timing, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opts = opts.withDefaults()
+	runRec := opts.Recorder
+	if obs.Live(opts.Recorder) {
+		// One TraversalID spans the real run, the priced mirror, and a
+		// possible escalation: they are one logical traversal and must
+		// land on the same side of any sampling decision.
+		if opts.TraversalID == 0 {
+			opts.TraversalID = obs.NextTraversalID()
+		}
+		runRec = obs.WithTraversalID(opts.TraversalID, opts.Recorder)
+	}
+
+	eng := bfs.NewShardedEngine(plan.Ranks, plan.M, plan.N)
+	eng.SetFaults(opts.Schedule)
+	eng.SetFTOptions(bfs.FTOptions{
+		MaxRetries:   opts.MaxRetries,
+		RetryBackoff: time.Duration(opts.RetryBackoff * float64(time.Second)),
+		BackoffCap:   time.Duration(opts.BackoffCap * float64(time.Second)),
+	})
+	res, err := eng.RunObserved(ctx, g, source, ws, runRec)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, ctxErr
+		}
+		var ferr *fault.Error
+		if !errors.As(err, &ferr) {
+			return nil, nil, fmt.Errorf("core: executing plan %s: %w", plan.Name(), err)
+		}
+		// Total collapse: no survivor set could finish the sharded
+		// traversal. Escalate to the single-device resilient executor —
+		// rank faults cannot follow the traversal there, but the
+		// schedule's device-level events still apply.
+		single := SinglePlan{
+			PlanName: plan.Name() + "-degraded",
+			Arch:     plan.Device,
+			Policy:   bfs.MN{M: plan.M, N: plan.N},
+		}
+		sres, _, timing, serr := ExecuteResilient(ctx, g, source, single, archsim.Link{}, opts)
+		if serr != nil {
+			return nil, nil, fmt.Errorf("core: plan %s lost every rank and the fallback failed: %w", plan.Name(), serr)
+		}
+		timing.Replans++
+		timing.Faults = append([]FaultRecord{{
+			Step: ferr.Step, Kind: ferr.Kind, Device: ferr.Device,
+			Action: "replan",
+			Detail: fmt.Sprintf("sharded traversal unrecoverable (%s); replanned onto %s", ferr.Reason, single.PlanName),
+		}}, timing.Faults...)
+		return sres, timing, nil
+	}
+	tr, err := bfs.ComputeTrace(g, res)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: tracing plan %s: %w", plan.Name(), err)
+	}
+	timing, err := SimulateShardedResilient(tr, res.Exchanges, plan, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, st := range timing.Steps {
+		if res.Directions[i] != st.Dir {
+			//lint:fault-ok invariant violation (engine/replay disagreement), not a modeled fault; nothing to wrap
+			return nil, nil, fmt.Errorf("core: plan %s resilient replay diverged at step %d (%s vs %s)",
+				plan.Name(), i+1, res.Directions[i], st.Dir)
+		}
+	}
+	return res, timing, nil
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRecoveryLadder(t *testing.T) {
+	cfg := Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	rows, err := Recovery(context.Background(), cfg, "", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per rank count: a clean baseline plus every ladder rung.
+	want := 3 * (1 + len(defaultRecoveryScenarios()))
+	if len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	recovered, escalated := 0, 0
+	for _, r := range rows {
+		if r.Scenario == "clean" {
+			if r.Overhead != 1 || r.RanksLost != 0 {
+				t.Errorf("clean row degraded: %+v", r)
+			}
+			continue
+		}
+		if r.Failed {
+			t.Errorf("%s ranks %d: failed — escalation should absorb total collapse on this workload", r.Scenario, r.Ranks)
+			continue
+		}
+		// An escalated run prices on a single un-sharded device with no
+		// fabric term, so it may legitimately undercut the sharded
+		// baseline; every sharded recovery must cost at least clean.
+		if !r.Escalated && r.Overhead < 1 {
+			t.Errorf("%s ranks %d: overhead %.3fx below clean", r.Scenario, r.Ranks, r.Overhead)
+		}
+		if r.RanksLost > 0 {
+			recovered++
+			if r.Recoveries == 0 {
+				t.Errorf("%s ranks %d: lost %d ranks but recorded no recoveries", r.Scenario, r.Ranks, r.RanksLost)
+			}
+			if r.CkptBytes == 0 {
+				t.Errorf("%s ranks %d: recovered without checkpoints", r.Scenario, r.Ranks)
+			}
+		}
+		if r.Escalated {
+			escalated++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no row recorded a survivor recovery")
+	}
+	// The kill-all rung exceeds the rank count at ranks 2 and 4, so
+	// those configurations must escalate to the single-device plan.
+	if escalated < 2 {
+		t.Errorf("only %d rows escalated, want >= 2", escalated)
+	}
+
+	var sb strings.Builder
+	if err := RenderRecovery(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "escalated") {
+		t.Errorf("render missing escalation marker:\n%s", sb.String())
+	}
+	var csv strings.Builder
+	if err := RecoveryCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != len(rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", got, len(rows)+1)
+	}
+}
+
+func TestRecoverySingleSpec(t *testing.T) {
+	cfg := Config{Scale: 11, EdgeFactor: 8, Seed: 1, NumRoots: 2}
+	rows, err := Recovery(context.Background(), cfg, "rankcrash:1@2", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2 {
+		t.Fatalf("%d rows, want 6 (clean + scenario per rank count)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenario == "clean" {
+			continue
+		}
+		if r.RanksLost != 1 || r.Recoveries != 1 {
+			t.Errorf("ranks %d: recovery stats %+v, want exactly one lost rank", r.Ranks, r)
+		}
+	}
+}

@@ -46,6 +46,21 @@ const (
 	// KernelSlowdown derates a device's execution rates by a factor
 	// from the step it fires (thermal throttling, clock capping).
 	KernelSlowdown
+	// RankCrash removes one partition rank of a sharded traversal
+	// permanently from the level it fires: the rank dies at its
+	// exchange seam and the survivors must adopt its owned range.
+	RankCrash
+	// RankLag stalls one rank at its exchange seam by Factor lag
+	// units from the level it fires — a straggler. Whether the lag is
+	// merely waited out or fenced by the barrier watchdog depends on
+	// the executor's deadline configuration.
+	RankLag
+	// ExchangeDrop makes each rank's per-level frontier exchange
+	// attempt fail with a per-attempt probability; retries (with
+	// backoff) may succeed. Draws are stateless hashes of
+	// (seed, rank, step, attempt), so concurrent ranks replay the
+	// same drop pattern without sharing an RNG stream.
+	ExchangeDrop
 )
 
 func (k Kind) String() string {
@@ -56,6 +71,12 @@ func (k Kind) String() string {
 		return "transient"
 	case KernelSlowdown:
 		return "slow"
+	case RankCrash:
+		return "rankcrash"
+	case RankLag:
+		return "ranklag"
+	case ExchangeDrop:
+		return "exchdrop"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -73,10 +94,13 @@ type Event struct {
 	// start".
 	Step int
 	// Probability is the per-attempt failure chance of a LinkTransient
-	// in [0, 1].
+	// or ExchangeDrop in [0, 1].
 	Probability float64
-	// Factor is the KernelSlowdown derating multiplier (> 1).
+	// Factor is the KernelSlowdown/RankLag derating multiplier (> 1).
 	Factor float64
+	// Rank is the targeted partition rank of a RankCrash or RankLag
+	// (>= 0). Ignored by device- and link-level kinds.
+	Rank int
 }
 
 // Matches reports whether the event targets the device identified by
@@ -98,6 +122,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("transient:%g", e.Probability)
 	case KernelSlowdown:
 		return fmt.Sprintf("slow:%s@%dx%g", e.Device, e.Step, e.Factor)
+	case RankCrash:
+		return fmt.Sprintf("rankcrash:%d@%d", e.Rank, e.Step)
+	case RankLag:
+		return fmt.Sprintf("ranklag:%dx%g@%d", e.Rank, e.Factor, e.Step)
+	case ExchangeDrop:
+		return fmt.Sprintf("exchdrop:%g", e.Probability)
 	default:
 		return e.Kind.String()
 	}
@@ -120,6 +150,21 @@ func (e Event) Validate() error {
 		}
 		if !(e.Factor >= 1) { // rejects NaN
 			return fmt.Errorf("fault: slowdown factor %g must be >= 1", e.Factor)
+		}
+	case RankCrash:
+		if e.Rank < 0 {
+			return fmt.Errorf("fault: rankcrash rank %d must be >= 0", e.Rank)
+		}
+	case RankLag:
+		if e.Rank < 0 {
+			return fmt.Errorf("fault: ranklag rank %d must be >= 0", e.Rank)
+		}
+		if !(e.Factor >= 1) { // rejects NaN
+			return fmt.Errorf("fault: ranklag factor %g must be >= 1", e.Factor)
+		}
+	case ExchangeDrop:
+		if !(e.Probability >= 0 && e.Probability <= 1) { // rejects NaN
+			return fmt.Errorf("fault: exchdrop probability %g outside [0,1]", e.Probability)
 		}
 	default:
 		return fmt.Errorf("fault: unknown kind %d", e.Kind)
@@ -243,6 +288,97 @@ func (s *Schedule) LinkDrops() bool {
 	return u < 1-pOK
 }
 
+// HasRankFaults reports whether the schedule carries any rank-targeted
+// or exchange-drop events — the kinds the sharded engine's
+// fault-tolerance machinery consumes. Engines use this to decide
+// whether to arm checkpointing and the barrier watchdog.
+func (s *Schedule) HasRankFaults() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		switch e.Kind {
+		case RankCrash, RankLag, ExchangeDrop:
+			return true
+		}
+	}
+	return false
+}
+
+// RankCrashedBy returns the crash event that has removed the given
+// partition rank by the given 1-based level, if any.
+func (s *Schedule) RankCrashedBy(rank, step int) (Event, bool) {
+	if s == nil {
+		return Event{}, false
+	}
+	for _, e := range s.Events {
+		if e.Kind == RankCrash && e.Rank == rank && e.ActiveAt(step) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// RankLagAt returns the combined lag factor applied to the given rank
+// at the given level (1 when unaffected). Multiple matching lag events
+// compound.
+func (s *Schedule) RankLagAt(rank, step int) float64 {
+	factor := 1.0
+	if s == nil {
+		return factor
+	}
+	for _, e := range s.Events {
+		if e.Kind == RankLag && e.Rank == rank && e.ActiveAt(step) {
+			factor *= e.Factor
+		}
+	}
+	return factor
+}
+
+// ExchangeDropProb returns the compound per-attempt exchange failure
+// probability (1 - prod(1-p_i) over ExchangeDrop events).
+func (s *Schedule) ExchangeDropProb() float64 {
+	if s == nil {
+		return 0
+	}
+	pOK := 1.0
+	any := false
+	for _, e := range s.Events {
+		if e.Kind == ExchangeDrop {
+			pOK *= 1 - e.Probability
+			any = true
+		}
+	}
+	if !any {
+		return 0
+	}
+	return 1 - pOK
+}
+
+// ExchangeDrops reports whether the given exchange attempt by one rank
+// fails. Unlike LinkDrops this draw is stateless: the uniform comes
+// from a SplitMix64 stream keyed by (seed, rank, step, attempt), so
+// concurrent ranks draw race-free and every re-execution of the same
+// schedule replays the same drop pattern regardless of rank
+// interleaving.
+func (s *Schedule) ExchangeDrops(rank, step, attempt int) bool {
+	p := s.ExchangeDropProb()
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	// Odd multipliers decorrelate the three coordinates before the
+	// SplitMix64 finalizer scrambles the combined state.
+	key := s.Seed
+	key ^= 0x9E3779B97F4A7C15 * uint64(rank+1)
+	key ^= 0xD1B54A32D192ED03 * uint64(step+1)
+	key ^= 0x8CB92BA72F3D8DD7 * uint64(attempt+1)
+	u := float64(xrand.NewSplitMix64(key).Uint64()>>11) / (1 << 53)
+	return u < p
+}
+
 // String renders the schedule in the Parse grammar (events joined by
 // semicolons), or "none" for an empty schedule.
 func (s *Schedule) String() string {
@@ -264,11 +400,19 @@ func (s *Schedule) String() string {
 //	transient:<p>                link transfers fail with probability p
 //	slow:<device>@<step>x<f>     device rates derated by f from step
 //	slow:<device>x<f>            ... from the start (step 0)
+//	rankcrash:<r>@<level>        partition rank r dies at that level
+//	ranklag:<r>x<f>[@<level>]    rank r lags by factor f from level
+//	exchdrop:<p>                 exchange attempts fail with probability p
 //
 // Example: "crash:GPU@4;transient:0.2;slow:CPU@2x1.5". Devices match
 // either the Arch.Name or the Kind label, case-insensitively.
+//
+// Two clauses of the same kind aiming at the same target and step are
+// a spec error, not a silent override: "rankcrash:1@2;rankcrash:1@2"
+// is rejected so a typo'd schedule cannot half-apply.
 func Parse(spec string, seed uint64) (*Schedule, error) {
 	var events []Event
+	seen := make(map[string]bool)
 	for _, clause := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ',' }) {
 		clause = strings.TrimSpace(clause)
 		if clause == "" {
@@ -321,12 +465,65 @@ func Parse(spec string, seed uint64) (*Schedule, error) {
 				}
 				e.Step = step
 			}
+		case "rankcrash":
+			e.Kind = RankCrash
+			rankStr, stepStr, ok := strings.Cut(rest, "@")
+			if !ok {
+				return nil, fmt.Errorf("fault: clause %q: want rankcrash:<rank>@<level>", clause)
+			}
+			rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad rank: %v", clause, err)
+			}
+			step, err := strconv.Atoi(strings.TrimSpace(stepStr))
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad level: %v", clause, err)
+			}
+			e.Rank, e.Step = rank, step
+		case "ranklag":
+			e.Kind = RankLag
+			rankStr, factorStep, ok := strings.Cut(rest, "x")
+			if !ok {
+				return nil, fmt.Errorf("fault: clause %q: want ranklag:<rank>x<factor>[@<level>]", clause)
+			}
+			rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad rank: %v", clause, err)
+			}
+			e.Rank = rank
+			factorStr, stepStr, hasStep := strings.Cut(factorStep, "@")
+			factor, err := strconv.ParseFloat(strings.TrimSpace(factorStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad factor: %v", clause, err)
+			}
+			e.Factor = factor
+			if hasStep {
+				step, err := strconv.Atoi(strings.TrimSpace(stepStr))
+				if err != nil {
+					return nil, fmt.Errorf("fault: clause %q: bad level: %v", clause, err)
+				}
+				e.Step = step
+			}
+		case "exchdrop":
+			e.Kind = ExchangeDrop
+			p, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: clause %q: bad probability: %v", clause, err)
+			}
+			e.Probability = p
 		default:
-			return nil, fmt.Errorf("fault: clause %q: unknown kind %q (want crash, transient, or slow)", clause, kind)
+			return nil, fmt.Errorf("fault: clause %q: unknown kind %q (want crash, transient, slow, rankcrash, ranklag, or exchdrop)", clause, kind)
 		}
 		if err := e.Validate(); err != nil {
 			return nil, fmt.Errorf("fault: clause %q: %w", clause, err)
 		}
+		// One directive per (kind, target, step): duplicates are a spec
+		// error rather than a silently compounding surprise.
+		key := fmt.Sprintf("%d|%s|%d|%d", e.Kind, strings.ToLower(e.Device), e.Rank, e.Step)
+		if seen[key] {
+			return nil, fmt.Errorf("fault: clause %q: duplicate %s directive for the same target at step %d", clause, e.Kind, e.Step)
+		}
+		seen[key] = true
 		events = append(events, e)
 	}
 	return New(seed, events...)

@@ -175,6 +175,196 @@ func TestLinkDropsProbabilityEdges(t *testing.T) {
 	}
 }
 
+func TestParseRankFaults(t *testing.T) {
+	s, err := Parse("rankcrash:1@2; ranklag:0x2.5@3, ranklag:2x4; exchdrop:0.2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: RankCrash, Rank: 1, Step: 2},
+		{Kind: RankLag, Rank: 0, Step: 3, Factor: 2.5},
+		{Kind: RankLag, Rank: 2, Factor: 4},
+		{Kind: ExchangeDrop, Probability: 0.2},
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(s.Events), len(want))
+	}
+	for i, w := range want {
+		if s.Events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], w)
+		}
+	}
+	if !s.HasRankFaults() {
+		t.Error("HasRankFaults() = false for a rank-fault schedule")
+	}
+	// Re-parsing the rendered form yields the same event set (String
+	// renders in canonical sorted order, so compare renderings).
+	s2, err := Parse(s.String(), 9)
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", s.String(), err)
+	}
+	if s2.String() != s.String() {
+		t.Errorf("round trip changed the schedule: %q vs %q", s2.String(), s.String())
+	}
+	// Device-level schedules carry no rank faults.
+	dev, err := Parse("crash:GPU@4;transient:0.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.HasRankFaults() {
+		t.Error("HasRankFaults() = true for a device-only schedule")
+	}
+}
+
+func TestParseRejectsRankForms(t *testing.T) {
+	for _, spec := range []string{
+		"rankcrash:1",                 // missing step
+		"rankcrash:@2",                // missing rank
+		"rankcrash:-1@2",              // negative rank
+		"rankcrash:x@2",               // rank not a number
+		"ranklag:1@2",                 // missing factor
+		"ranklag:1x0.5@2",             // factor < 1
+		"ranklag:x3@2",                // missing rank
+		"ranklag:1xNaN",               // NaN factor
+		"exchdrop:1.5",                // probability out of range
+		"exchdrop:NaN",                // NaN probability
+		"exchdrop:",                   // missing probability
+		"rankcrash:1@2;rankcrash:1@2", // duplicate directive
+		"ranklag:0x2@3;ranklag:0x5@3", // duplicate same-step lag for one rank
+		"crash:GPU@4;crash:gpu@4",     // duplicate device directive (case-folded)
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+	// Same rank at different steps, and different ranks at the same
+	// step, are distinct directives.
+	for _, spec := range []string{
+		"rankcrash:1@2;rankcrash:1@3",
+		"rankcrash:1@2;rankcrash:2@2",
+		"ranklag:1x2@2;ranklag:1x3@4",
+	} {
+		if _, err := Parse(spec, 1); err != nil {
+			t.Errorf("Parse(%q): %v, want accepted", spec, err)
+		}
+	}
+}
+
+func TestRankQueries(t *testing.T) {
+	s, err := New(1,
+		Event{Kind: RankCrash, Rank: 1, Step: 3},
+		Event{Kind: RankLag, Rank: 0, Step: 2, Factor: 2},
+		Event{Kind: RankLag, Rank: 0, Step: 2, Factor: 3}, // programmatic compound
+		Event{Kind: RankLag, Rank: 2, Factor: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.RankCrashedBy(1, 2); ok {
+		t.Error("crash fired before its step")
+	}
+	if ev, ok := s.RankCrashedBy(1, 3); !ok || ev.Rank != 1 {
+		t.Errorf("RankCrashedBy(1,3) = %+v, %v; want the scheduled crash", ev, ok)
+	}
+	if _, ok := s.RankCrashedBy(0, 9); ok {
+		t.Error("crash matched the wrong rank")
+	}
+	if got := s.RankLagAt(0, 2); got != 6 {
+		t.Errorf("RankLagAt(0,2) = %g, want 6 (compounded)", got)
+	}
+	if got := s.RankLagAt(0, 1); got != 1 {
+		t.Errorf("RankLagAt(0,1) = %g, want 1 (before the lag step)", got)
+	}
+	if got := s.RankLagAt(2, 7); got != 4 {
+		t.Errorf("RankLagAt(2,7) = %g, want 4 (step-0 lag is permanent)", got)
+	}
+	var nilSched *Schedule
+	if nilSched.HasRankFaults() {
+		t.Error("nil schedule reported rank faults")
+	}
+	if _, ok := nilSched.RankCrashedBy(0, 1); ok {
+		t.Error("nil schedule reported a rank crash")
+	}
+	if f := nilSched.RankLagAt(0, 1); f != 1 {
+		t.Errorf("nil schedule lag %g, want 1", f)
+	}
+	if p := nilSched.ExchangeDropProb(); p != 0 {
+		t.Errorf("nil schedule drop prob %g, want 0", p)
+	}
+}
+
+func TestExchangeDropProbComposes(t *testing.T) {
+	s, err := New(1,
+		Event{Kind: ExchangeDrop, Probability: 0.5},
+		Event{Kind: ExchangeDrop, Probability: 0.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExchangeDropProb(); got != 0.75 {
+		t.Errorf("two p=0.5 drops compose to %g, want 0.75", got)
+	}
+}
+
+func TestExchangeDropsStateless(t *testing.T) {
+	mk := func() *Schedule {
+		s, err := New(42, Event{Kind: ExchangeDrop, Probability: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	var drops int
+	for rank := 0; rank < 4; rank++ {
+		for step := 1; step <= 50; step++ {
+			for attempt := 0; attempt < 5; attempt++ {
+				da := a.ExchangeDrops(rank, step, attempt)
+				// The draw is a pure function of (seed, rank, step,
+				// attempt): equal schedules agree without any shared
+				// state, the property that keeps concurrent ranks
+				// race-free and replays byte-identical.
+				if db := b.ExchangeDrops(rank, step, attempt); da != db {
+					t.Fatalf("draw (%d,%d,%d) diverged between equal schedules", rank, step, attempt)
+				}
+				if da != a.ExchangeDrops(rank, step, attempt) {
+					t.Fatalf("draw (%d,%d,%d) not idempotent", rank, step, attempt)
+				}
+				if da {
+					drops++
+				}
+			}
+		}
+	}
+	if total := 4 * 50 * 5; drops < total*4/10 || drops > total*6/10 {
+		t.Errorf("p=0.5 produced %d/%d drops", drops, 4*50*5)
+	}
+	never, _ := New(1, Event{Kind: ExchangeDrop, Probability: 0})
+	always, _ := New(1, Event{Kind: ExchangeDrop, Probability: 1})
+	for i := 0; i < 50; i++ {
+		if never.ExchangeDrops(0, i+1, 0) {
+			t.Fatal("p=0 schedule dropped an exchange")
+		}
+		if !always.ExchangeDrops(0, i+1, 0) {
+			t.Fatal("p=1 schedule passed an exchange")
+		}
+	}
+	// Different seeds give different draw sequences (overwhelmingly).
+	c, err := New(43, Event{Kind: ExchangeDrop, Probability: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for step := 1; step <= 64; step++ {
+		if a.ExchangeDrops(0, step, 0) == c.ExchangeDrops(0, step, 0) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("seeds 42 and 43 produced identical draw sequences")
+	}
+}
+
 func TestErrorType(t *testing.T) {
 	var err error = &Error{Kind: DeviceCrash, Device: "GPU", Step: 4, Reason: "no surviving device"}
 	var fe *Error

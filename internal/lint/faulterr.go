@@ -41,8 +41,10 @@ const boundaryPkgPath = "crossbfs"
 // boundaryNames are executor entry points that are boundaries in any
 // package.
 var boundaryNames = map[string]bool{
-	"ExecuteResilient":  true,
-	"SimulateResilient": true,
+	"ExecuteResilient":         true,
+	"SimulateResilient":        true,
+	"ExecuteShardedResilient":  true,
+	"SimulateShardedResilient": true,
 }
 
 func runFaultErr(pass *Pass) error {

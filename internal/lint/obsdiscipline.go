@@ -65,6 +65,10 @@ var registeredKinds = map[string]bool{
 	"KindExchangeEnd":    true,
 	"KindCollective":     true,
 	"KindGhostUpdate":    true,
+	"KindRankLost":       true,
+	"KindRecoverStart":   true,
+	"KindRecoverEnd":     true,
+	"KindCheckpoint":     true,
 }
 
 // openerPairs maps each group-opening kind to its required closer.
@@ -72,6 +76,7 @@ var openerPairs = map[string]string{
 	"KindTraversalStart": "KindTraversalEnd",
 	"KindPlanStart":      "KindPlanEnd",
 	"KindExchangeStart":  "KindExchangeEnd",
+	"KindRecoverStart":   "KindRecoverEnd",
 }
 
 // obsLikePkgs memoizes which packages carry an obs-shaped Event/Kind

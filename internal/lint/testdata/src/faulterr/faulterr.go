@@ -64,6 +64,31 @@ func ExecuteResilient(n int) error {
 	return fmt.Errorf("resilient replay diverged at step %d", n) // want `fmt.Errorf without %w crosses the error boundary`
 }
 
+// ExecuteShardedResilient is a boundary by name, matching the sharded
+// resilient executor entry point.
+func ExecuteShardedResilient(n int) error {
+	if n < 0 {
+		return errors.New("no surviving rank") // want `untyped errors.New crosses the error boundary \(API boundary ExecuteShardedResilient\)`
+	}
+	return shardedHelper(n)
+}
+
+// SimulateShardedResilient is a boundary by name; its reachable helper
+// surfaces untyped errors at the boundary.
+func SimulateShardedResilient(n int) error {
+	return shardedHelper(n)
+}
+
+func shardedHelper(n int) error {
+	if n > 3 {
+		return fmt.Errorf("exchange records missing for step %d", n) // want `fmt.Errorf without %w crosses the error boundary`
+	}
+	if n == 2 {
+		return fmt.Errorf("replaying level: %w", step(n)) // %w chain preserves the typed kind: not flagged
+	}
+	return nil
+}
+
 // drainQueue is a boundary by annotation.
 //
 //lint:boundary

@@ -67,6 +67,12 @@ type Metrics struct {
 	ghostUpdates  atomic.Int64 // KindGhostUpdate events
 	ghostApplied  atomic.Int64 // remote claims that won their vertex
 
+	// Rank fault tolerance.
+	ranksLost       atomic.Int64 // KindRankLost
+	recoveries      atomic.Int64 // KindRecoverEnd (completed recoveries)
+	checkpoints     atomic.Int64 // KindCheckpoint
+	checkpointBytes atomic.Int64 // encoded checkpoint delta payload
+
 	// frontierHist[b] counts levels whose |V|cq had bit-length b
 	// (power-of-two buckets: bucket b covers [2^(b-1), 2^b)).
 	frontierHist [48]atomic.Int64
@@ -133,6 +139,15 @@ func (m *Metrics) Event(e Event) {
 	case KindGhostUpdate:
 		m.ghostUpdates.Add(1)
 		m.ghostApplied.Add(e.Discovered)
+	case KindRankLost:
+		m.ranksLost.Add(1)
+	case KindRecoverStart:
+		// Counted on the paired KindRecoverEnd.
+	case KindRecoverEnd:
+		m.recoveries.Add(1)
+	case KindCheckpoint:
+		m.checkpoints.Add(1)
+		m.checkpointBytes.Add(e.Bytes)
 	}
 }
 
@@ -178,6 +193,10 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"collectives_total":         m.collectives.Load(),
 		"ghost_updates_total":       m.ghostUpdates.Load(),
 		"ghost_applied_total":       m.ghostApplied.Load(),
+		"ranks_lost_total":          m.ranksLost.Load(),
+		"recoveries_total":          m.recoveries.Load(),
+		"checkpoints_total":         m.checkpoints.Load(),
+		"checkpoint_bytes_total":    m.checkpointBytes.Load(),
 	}
 	for i := range m.frontierHist {
 		if v := m.frontierHist[i].Load(); v > 0 {

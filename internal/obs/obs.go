@@ -118,6 +118,25 @@ const (
 	// vertices it owns: Step, Index (rank), Scans (claims received),
 	// Discovered (claims that won), Bytes, Wall.
 	KindGhostUpdate
+	// KindRankLost reports a sharded rank detected as failed (injected
+	// crash, exhausted exchange retries, or watchdog-fenced straggler):
+	// Step (level being traversed), Index (the dead rank), Workers
+	// (survivors left), Detail (cause), Wall. Emitted under the
+	// barrier lock by whichever participant detected the failure.
+	KindRankLost
+	// KindRecoverStart opens one survivor's recovery: Step (the level
+	// about to be replayed), Index (rank), Wall. Per-rank lane; may be
+	// emitted concurrently by the surviving rank goroutines.
+	KindRecoverStart
+	// KindRecoverEnd closes the survivor's recovery: Step, Index
+	// (rank), Scans (frontier vertices restored from checkpoints),
+	// Wall, WallDur.
+	KindRecoverEnd
+	// KindCheckpoint reports a rank writing its per-level frontier
+	// checkpoint deltas: Step (the level the checkpoint can replay),
+	// Index (rank), Grains (segments covered), Bytes (total encoded
+	// delta size), Wall. Per-rank lane.
+	KindCheckpoint
 )
 
 func (k Kind) String() string {
@@ -156,6 +175,14 @@ func (k Kind) String() string {
 		return "collective"
 	case KindGhostUpdate:
 		return "ghost_update"
+	case KindRankLost:
+		return "rank_lost"
+	case KindRecoverStart:
+		return "recover_start"
+	case KindRecoverEnd:
+		return "recover_end"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return "unknown"
 	}

@@ -28,6 +28,11 @@ type TraceSummary struct {
 	Collectives  int // cat "collective" instants (global switch decisions)
 	GhostUpdates int // cat "ghost" instants (remote claim application)
 
+	// Rank fault tolerance (see DESIGN.md §4e, recovery protocol).
+	RanksLost   int // cat "recover" instants carrying args.survivors (rank_lost)
+	Recoveries  int // cat "recover" slices (completed survivor recoveries)
+	Checkpoints int // cat "checkpoint" instants (per-level frontier deltas)
+
 	// Processes maps pid to its process_name metadata.
 	Processes map[int]string
 	// Threads maps "pid/tid" to its thread_name metadata.
@@ -86,7 +91,9 @@ type rawEvent struct {
 //     makes per-level switch reconstruction sound;
 //   - directions are "TD" or "BU";
 //   - exchange slices carry bytes/rank args, collective instants a
-//     positive step and a direction, ghost instants a rank.
+//     positive step and a direction, ghost instants a rank;
+//   - recovery events carry rank and positive step args (recover
+//     slices and instants), checkpoint instants additionally bytes.
 //
 // On success it returns the summary; the first violation returns an
 // error naming the offending event index.
@@ -166,6 +173,24 @@ func ValidateTrace(data []byte) (*TraceSummary, error) {
 				if _, ok := argInt(ev.Args, "rank"); !ok {
 					return nil, fmt.Errorf("event %d (%s): ghost instant without args.rank", i, ev.Name)
 				}
+			case "recover":
+				if _, ok := argInt(ev.Args, "rank"); !ok {
+					return nil, fmt.Errorf("event %d (%s): recover instant without args.rank", i, ev.Name)
+				}
+				if step, ok := argInt(ev.Args, "step"); !ok || step < 1 {
+					return nil, fmt.Errorf("event %d (%s): recover instant without positive args.step", i, ev.Name)
+				}
+				if _, lost := ev.Args["survivors"]; lost {
+					s.RanksLost++
+				}
+			case "checkpoint":
+				s.Checkpoints++
+				if _, ok := argInt(ev.Args, "rank"); !ok {
+					return nil, fmt.Errorf("event %d (%s): checkpoint instant without args.rank", i, ev.Name)
+				}
+				if b, ok := argInt(ev.Args, "bytes"); !ok || b < 0 {
+					return nil, fmt.Errorf("event %d (%s): checkpoint instant without non-negative args.bytes", i, ev.Name)
+				}
 			}
 			continue
 		}
@@ -209,6 +234,14 @@ func ValidateTrace(data []byte) (*TraceSummary, error) {
 			}
 			if _, ok := argInt(ev.Args, "rank"); !ok {
 				return nil, fmt.Errorf("event %d (%s): exchange slice without args.rank", i, ev.Name)
+			}
+		case "recover":
+			s.Recoveries++
+			if _, ok := argInt(ev.Args, "rank"); !ok {
+				return nil, fmt.Errorf("event %d (%s): recover slice without args.rank", i, ev.Name)
+			}
+			if step, ok := argInt(ev.Args, "step"); !ok || step < 1 {
+				return nil, fmt.Errorf("event %d (%s): recover slice without positive args.step", i, ev.Name)
 			}
 		}
 	}

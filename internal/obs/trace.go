@@ -242,6 +242,44 @@ func (t *laneState) event(e Event) {
 				"received": e.Scans, "applied": e.Discovered, "bytes": e.Bytes,
 			},
 		})
+	case KindRankLost:
+		// Losing a rank reshapes the whole traversal, so like the
+		// collective it rides the traversal's own lane.
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("rank %d lost", e.Index), Cat: "recover",
+			Ph: "i", Scope: "g", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: t.tid(e.TraversalID),
+			Args: map[string]any{
+				"step": e.Step, "rank": e.Index,
+				"survivors": e.Workers, "detail": e.Detail,
+			},
+		})
+	case KindRecoverStart:
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d recover start", e.Step), Cat: "recover",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: tid,
+			Args: map[string]any{"step": e.Step, "rank": e.Index},
+		})
+	case KindRecoverEnd:
+		dur := float64(e.WallDur) / float64(time.Microsecond)
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d recover", e.Step), Cat: "recover", Ph: "X",
+			TS: t.wallTS(e.Wall), Dur: &dur, Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "rank": e.Index, "restored": e.Scans,
+			},
+		})
+	case KindCheckpoint:
+		tid := t.rankTid(e.TraversalID, e.Index, e.Root)
+		t.emit(traceEvent{
+			Name: fmt.Sprintf("L%d checkpoint", e.Step), Cat: "checkpoint",
+			Ph: "i", Scope: "t", TS: t.wallTS(e.Wall), Pid: hostPid, Tid: tid,
+			Args: map[string]any{
+				"step": e.Step, "rank": e.Index,
+				"segments": e.Grains, "bytes": e.Bytes,
+			},
+		})
 	}
 }
 

@@ -248,3 +248,58 @@ func (p *Partitioned) Validate() error {
 	}
 	return nil
 }
+
+// Shrink reassigns every segment currently owned by a dead rank onto
+// the surviving ranks. owner[seg] is the rank owning segment seg (the
+// identity mapping before any failure), dead[r] marks failed ranks.
+// Orphaned segments are adopted deterministically: segments are walked
+// in ascending order and each goes to the live rank owning the fewest
+// segments at that point (ties break toward the lowest rank), so every
+// survivor set yields the same balanced handoff on every run. The
+// input slice is not modified; Shrink returns the new assignment, or
+// an error when no rank survives.
+func Shrink(owner []int, dead []bool) ([]int, error) {
+	if len(owner) != len(dead) {
+		return nil, fmt.Errorf("part: shrink: %d segments vs %d ranks", len(owner), len(dead))
+	}
+	load := make([]int, len(dead))
+	anyLive := false
+	for _, d := range dead {
+		if !d {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		return nil, fmt.Errorf("part: shrink: no surviving ranks")
+	}
+	next := make([]int, len(owner))
+	copy(next, owner)
+	for seg, r := range next {
+		if r < 0 || r >= len(dead) {
+			return nil, fmt.Errorf("part: shrink: segment %d owned by out-of-range rank %d", seg, r)
+		}
+		if !dead[r] {
+			load[r]++
+			continue
+		}
+		next[seg] = -1 // orphaned; adopted below once live loads are known
+	}
+	for seg, r := range next {
+		if r >= 0 {
+			continue
+		}
+		best := -1
+		for cand, d := range dead {
+			if d {
+				continue
+			}
+			if best < 0 || load[cand] < load[best] {
+				best = cand
+			}
+		}
+		next[seg] = best
+		load[best]++
+	}
+	return next, nil
+}

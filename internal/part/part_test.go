@@ -151,3 +151,90 @@ func TestHasGhost(t *testing.T) {
 		}
 	}
 }
+
+func TestShrinkAdoptsOrphans(t *testing.T) {
+	// Four ranks, each owning its home segment; rank 2 dies.
+	owner := []int{0, 1, 2, 3}
+	next, err := Shrink(owner, []bool{false, false, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 0, 3} // lowest-loaded (tie → lowest rank) adopts
+	for i := range want {
+		if next[i] != want[i] {
+			t.Fatalf("Shrink = %v, want %v", next, want)
+		}
+	}
+	// The input is not mutated.
+	for i, r := range []int{0, 1, 2, 3} {
+		if owner[i] != r {
+			t.Fatalf("Shrink mutated its input: %v", owner)
+		}
+	}
+}
+
+func TestShrinkBalancesLoad(t *testing.T) {
+	// Rank 0 already carries segment 1 from an earlier death; when rank
+	// 2 dies, its segment goes to rank 3 (load 1), not rank 0 (load 2).
+	next, err := Shrink([]int{0, 0, 2, 3}, []bool{false, true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 3, 3}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Fatalf("Shrink = %v, want %v", next, want)
+		}
+	}
+}
+
+func TestShrinkCascades(t *testing.T) {
+	// Kill ranks one at a time until a single survivor owns everything;
+	// every intermediate map must assign each segment to a live rank.
+	const n = 8
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i
+	}
+	dead := make([]bool, n)
+	for kill := 0; kill < n-1; kill++ {
+		dead[kill] = true
+		next, err := Shrink(owner, dead)
+		if err != nil {
+			t.Fatalf("kill %d: %v", kill, err)
+		}
+		for seg, r := range next {
+			if r < 0 || r >= n || dead[r] {
+				t.Fatalf("kill %d: segment %d assigned to dead/out-of-range rank %d", kill, seg, r)
+			}
+		}
+		// Deterministic: the same inputs reassign identically.
+		again, err := Shrink(owner, dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seg := range next {
+			if next[seg] != again[seg] {
+				t.Fatalf("kill %d: Shrink not deterministic at segment %d", kill, seg)
+			}
+		}
+		owner = next
+	}
+	for seg, r := range owner {
+		if r != n-1 {
+			t.Fatalf("last survivor should own every segment, got owner[%d]=%d", seg, r)
+		}
+	}
+}
+
+func TestShrinkRejects(t *testing.T) {
+	if _, err := Shrink([]int{0, 1}, []bool{false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Shrink([]int{0, 1}, []bool{true, true}); err == nil {
+		t.Error("no-survivor map accepted")
+	}
+	if _, err := Shrink([]int{0, 7}, []bool{false, false}); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+}
