@@ -1,11 +1,12 @@
 # Verification entry points for crossbfs. `make verify` is the gate
 # the repo's CI-equivalent runs: vet, the project's own analyzers, the
 # unit suite, the race detector over the concurrent core, the trace
-# smoke, and the sharded fault-injection chaos suite.
+# smoke, the sharded fault-injection chaos suite, and the serving
+# smoke (bfsd + bfsload end to end).
 
 GO ?= go
 
-.PHONY: all build test lint lint-json race trace-smoke chaos bench-report verify fuzz fuzz-faults
+.PHONY: all build test lint lint-json race trace-smoke chaos serve-smoke bench-report verify fuzz fuzz-faults
 
 all: verify
 
@@ -34,7 +35,7 @@ lint-json:
 # bitmap hold the goroutine-shared state; core drives the resilient
 # executor's context plumbing.
 race:
-	$(GO) test -race ./internal/bfs/... ./internal/bitmap/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/bfs/... ./internal/bitmap/... ./internal/core/... ./internal/obs/... ./internal/serve/...
 
 # trace-smoke is the end-to-end observability gate: export a Chrome
 # trace from a real run (scale-14 keeps it a few seconds), then have
@@ -54,17 +55,27 @@ chaos:
 	$(GO) test -race -run ShardedChaos -count=1 ./internal/bfs/
 	$(GO) run ./cmd/bfsrun -chaos
 
+# serve-smoke is the end-to-end serving gate: boot bfsd on a loopback
+# port with a scale-14 graph, drive a short mixed bfsload run, check
+# the /metrics scrape for the serve counters, and tracecheck the
+# flight-recorder dump. See SERVING.md.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve-smoke.sh
+
 # bench-report runs the benchmark suite and snapshots the numbers to
 # the next BENCH_<n>.json at the repo root, failing when any benchmark
 # regressed more than BENCHTHRESHOLD vs the previous snapshot. It is
 # deliberately NOT part of `verify` — benchmarks need a quiet machine
 # and minutes of wall time; CI runs it as its own job.
+# Set SERVINGREPORT to a bfsload -out file to fold its latency/QPS
+# totals into the snapshot's "serving" section (gated like the rest).
 BENCHTIME ?= 1x
 BENCHTHRESHOLD ?= 0.35
+SERVINGREPORT ?=
 bench-report:
-	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -threshold $(BENCHTHRESHOLD)
+	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -threshold $(BENCHTHRESHOLD) $(if $(SERVINGREPORT),-serving $(SERVINGREPORT))
 
-verify: build lint test race trace-smoke chaos
+verify: build lint test race trace-smoke chaos serve-smoke
 
 # fuzz gives the heuristic-switch fuzzer a short budget; CI-style
 # smoke, not a soak. Override FUZZTIME for longer runs.

@@ -20,6 +20,8 @@
 //	-out string        snapshot path to write (default: next BENCH_<n>.json in -dir)
 //	-prev string       snapshot to compare against (default: highest BENCH_<n>.json in -dir)
 //	-cur string        compare-only mode: skip the bench run and compare -cur against -prev
+//	-serving string    bfsload report (crossbfs-load/v1) to fold into the
+//	                   snapshot's "serving" section
 //	-v                 log the raw go test output
 //
 // Snapshot schema (BENCH_<n>.json, "crossbfs-bench/v1"):
@@ -54,6 +56,10 @@
 //     gate — BenchmarkRunNopRecorder's 0 allocs/op contract); otherwise
 //     the threshold ratio applies
 //   - benchmarks missing from either side are warnings, never failures
+//   - serving (when both snapshots carry the section, same mix):
+//     p50/p99/p999 regress when cur > prev × (1 + threshold), sustained
+//     QPS when cur < prev ÷ (1 + threshold); a section on only one side
+//     (or a mix change) is a warning
 //
 // Exit codes: 0 no regression, 1 regression detected, 2 usage or
 // operational error (bench run failed, unreadable snapshot).
@@ -86,6 +92,23 @@ type Snapshot struct {
 	// OverheadPct reports each RunManyRecorderOverhead mode's ns/op
 	// delta vs the nop mode, in percent (live 5.0 = live is 5% slower).
 	OverheadPct map[string]float64 `json:"overhead_pct,omitempty"`
+	// Serving holds the bfsd/bfsload serving numbers folded in via
+	// -serving; nil when the snapshot carries none.
+	Serving *ServingEntry `json:"serving,omitempty"`
+}
+
+// ServingEntry is the serving-latency section of a snapshot: the
+// totals of one bfsload run (-serving report.json). Latencies regress
+// like ns/op, sustained QPS regresses like MTEPS.
+type ServingEntry struct {
+	Mix          string  `json:"mix"`
+	TargetQPS    float64 `json:"target_qps"`
+	SustainedQPS float64 `json:"sustained_qps"`
+	P50US        int64   `json:"p50_us"`
+	P99US        int64   `json:"p99_us"`
+	P999US       int64   `json:"p999_us"`
+	Rejected     int64   `json:"rejected"`
+	Deadline     int64   `json:"deadline"`
 }
 
 // BenchEntry is one benchmark's measured values.
@@ -99,6 +122,51 @@ type BenchEntry struct {
 }
 
 const schemaV1 = "crossbfs-bench/v1"
+
+// loadSchemaV1 is the bfsload report schema -serving accepts.
+const loadSchemaV1 = "crossbfs-load/v1"
+
+// readServingReport folds a bfsload JSON report's totals into a
+// ServingEntry.
+func readServingReport(path string) (*ServingEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep struct {
+		Schema    string  `json:"schema"`
+		Mix       string  `json:"mix"`
+		TargetQPS float64 `json:"target_qps"`
+		Total     struct {
+			OK           int64   `json:"ok"`
+			Rejected     int64   `json:"rejected"`
+			Deadline     int64   `json:"deadline"`
+			P50US        int64   `json:"p50_us"`
+			P99US        int64   `json:"p99_us"`
+			P999US       int64   `json:"p999_us"`
+			SustainedQPS float64 `json:"sustained_qps"`
+		} `json:"total"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != loadSchemaV1 {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, loadSchemaV1)
+	}
+	if rep.Total.OK == 0 {
+		return nil, fmt.Errorf("%s: load run has no successful queries", path)
+	}
+	return &ServingEntry{
+		Mix:          rep.Mix,
+		TargetQPS:    rep.TargetQPS,
+		SustainedQPS: rep.Total.SustainedQPS,
+		P50US:        rep.Total.P50US,
+		P99US:        rep.Total.P99US,
+		P999US:       rep.Total.P999US,
+		Rejected:     rep.Total.Rejected,
+		Deadline:     rep.Total.Deadline,
+	}, nil
+}
 
 // benchLine matches one `go test -bench` result line:
 //
@@ -215,7 +283,43 @@ func compare(prev, cur *Snapshot, threshold float64) (regs []Regression, missing
 			missing = append(missing, name+" (new)")
 		}
 	}
+	regs, missing = compareServing(prev.Serving, cur.Serving, threshold, regs, missing)
 	sort.Strings(missing)
+	return regs, missing
+}
+
+// compareServing applies the serving-section rules: latency quantiles
+// regress upward like ns/op, sustained QPS regresses downward like
+// MTEPS, and a section present on only one side is a warning (matching
+// the missing-benchmark rule). Mismatched mixes aren't comparable and
+// also warn.
+func compareServing(p, c *ServingEntry, threshold float64, regs []Regression, missing []string) ([]Regression, []string) {
+	switch {
+	case p == nil && c == nil:
+		return regs, missing
+	case c == nil:
+		return regs, append(missing, "serving section (gone)")
+	case p == nil:
+		return regs, append(missing, "serving section (new)")
+	case p.Mix != c.Mix:
+		return regs, append(missing, fmt.Sprintf("serving section (mix %s -> %s, not comparable)", p.Mix, c.Mix))
+	}
+	lat := []struct {
+		metric    string
+		prev, cur int64
+	}{
+		{"serving p50 µs", p.P50US, c.P50US},
+		{"serving p99 µs", p.P99US, c.P99US},
+		{"serving p999 µs", p.P999US, c.P999US},
+	}
+	for _, l := range lat {
+		if l.prev > 0 && float64(l.cur) > float64(l.prev)*(1+threshold) {
+			regs = append(regs, Regression{"serving", l.metric, float64(l.prev), float64(l.cur)})
+		}
+	}
+	if p.SustainedQPS > 0 && c.SustainedQPS > 0 && c.SustainedQPS < p.SustainedQPS/(1+threshold) {
+		regs = append(regs, Regression{"serving", "sustained QPS", p.SustainedQPS, c.SustainedQPS})
+	}
 	return regs, missing
 }
 
@@ -322,6 +426,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		outPath   = fs.String("out", "", "snapshot path to write (default: next BENCH_<n>.json in -dir)")
 		prevPath  = fs.String("prev", "", "snapshot to compare against (default: highest BENCH_<n>.json in -dir)")
 		curPath   = fs.String("cur", "", "compare-only: compare this snapshot against -prev, skip the bench run")
+		servingIn = fs.String("serving", "", "bfsload report (crossbfs-load/v1) to fold into the snapshot's serving section")
 		verbose   = fs.Bool("v", false, "log the raw go test output")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -382,6 +487,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			Benchtime:   *benchtime,
 			Benchmarks:  entries,
 			OverheadPct: overheadDeltas(entries),
+		}
+		if *servingIn != "" {
+			entry, err := readServingReport(*servingIn)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchreport: %v\n", err)
+				return 2
+			}
+			cur.Serving = entry
 		}
 		if *outPath == "" {
 			p, err := nextSnapshotPath(*dir)

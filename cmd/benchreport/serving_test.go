@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleLoadReport is a bfsload report shaped like cmd/bfsload writes.
+const sampleLoadReport = `{
+  "schema": "crossbfs-load/v1",
+  "addr": "127.0.0.1:9999",
+  "graph": "g",
+  "vertices": 16384,
+  "mix": "mixed",
+  "target_qps": 200,
+  "duration_ms": 10000,
+  "total": {
+    "sent": 2000, "ok": 1980, "rejected": 12, "deadline": 8, "errors": 0,
+    "p50_us": 850, "p99_us": 9400, "p999_us": 31000, "max_us": 52000,
+    "sustained_qps": 198.0
+  },
+  "classes": {}
+}`
+
+func writeLoadReport(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadServingReport(t *testing.T) {
+	entry, err := readServingReport(writeLoadReport(t, sampleLoadReport))
+	if err != nil {
+		t.Fatalf("readServingReport: %v", err)
+	}
+	want := ServingEntry{
+		Mix: "mixed", TargetQPS: 200, SustainedQPS: 198,
+		P50US: 850, P99US: 9400, P999US: 31000, Rejected: 12, Deadline: 8,
+	}
+	if *entry != want {
+		t.Errorf("entry = %+v, want %+v", *entry, want)
+	}
+
+	t.Run("wrong schema", func(t *testing.T) {
+		if _, err := readServingReport(writeLoadReport(t, `{"schema": "other/v1", "total": {"ok": 1}}`)); err == nil {
+			t.Error("wrong schema accepted")
+		}
+	})
+	t.Run("empty run", func(t *testing.T) {
+		if _, err := readServingReport(writeLoadReport(t, `{"schema": "crossbfs-load/v1", "total": {"ok": 0}}`)); err == nil {
+			t.Error("zero-OK report accepted")
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := readServingReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+			t.Error("missing file accepted")
+		}
+	})
+}
+
+func TestCompareServingRules(t *testing.T) {
+	base := &ServingEntry{Mix: "mixed", SustainedQPS: 200, P50US: 1000, P99US: 10000, P999US: 30000}
+	clone := func(mut func(*ServingEntry)) *ServingEntry {
+		c := *base
+		mut(&c)
+		return &c
+	}
+	cases := []struct {
+		name     string
+		cur      *ServingEntry
+		wantRegs []string // metric substrings
+		wantWarn bool
+	}{
+		{"unchanged", clone(func(*ServingEntry) {}), nil, false},
+		{"p99 regresses", clone(func(c *ServingEntry) { c.P99US = 20000 }), []string{"p99"}, false},
+		{"p999 regresses", clone(func(c *ServingEntry) { c.P999US = 90000 }), []string{"p999"}, false},
+		{"qps regresses", clone(func(c *ServingEntry) { c.SustainedQPS = 100 }), []string{"sustained QPS"}, false},
+		{"everything regresses", clone(func(c *ServingEntry) {
+			c.P50US, c.P99US, c.P999US, c.SustainedQPS = 5000, 50000, 150000, 50
+		}), []string{"p50", "p99", "p999", "sustained QPS"}, false},
+		{"within threshold", clone(func(c *ServingEntry) { c.P99US = 12000; c.SustainedQPS = 180 }), nil, false},
+		{"section dropped", nil, nil, true},
+		{"mix changed", clone(func(c *ServingEntry) { c.Mix = "oltp" }), nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, missing := compareServing(base, tc.cur, 0.35, nil, nil)
+			if len(regs) != len(tc.wantRegs) {
+				t.Fatalf("regs = %v, want %d: %v", regs, len(tc.wantRegs), tc.wantRegs)
+			}
+			for i, want := range tc.wantRegs {
+				if !strings.Contains(regs[i].Metric, want) {
+					t.Errorf("regs[%d] = %v, want metric containing %q", i, regs[i], want)
+				}
+			}
+			if tc.wantWarn != (len(missing) > 0) {
+				t.Errorf("missing = %v, wantWarn=%v", missing, tc.wantWarn)
+			}
+		})
+	}
+
+	t.Run("new section warns", func(t *testing.T) {
+		regs, missing := compareServing(nil, base, 0.35, nil, nil)
+		if len(regs) != 0 || len(missing) != 1 || !strings.Contains(missing[0], "new") {
+			t.Errorf("regs=%v missing=%v", regs, missing)
+		}
+	})
+}
+
+// TestDoctoredServingRegressionExitsNonzero is the ISSUE acceptance
+// criterion for the serving gate: a prior snapshot claiming much
+// better serving numbers than the fresh run must fail the compare.
+func TestDoctoredServingRegressionExitsNonzero(t *testing.T) {
+	dir := t.TempDir()
+	stubBenches(t, sampleBenchOutput, nil)
+	report := writeLoadReport(t, sampleLoadReport)
+
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-dir", dir, "-serving", report}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline run exit %d, stderr:\n%s", code, stderr.String())
+	}
+	snapPath := filepath.Join(dir, "BENCH_1.json")
+	snap, err := readSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Serving == nil || snap.Serving.P99US != 9400 {
+		t.Fatalf("snapshot serving section = %+v", snap.Serving)
+	}
+
+	// Doctor the baseline: claim p99 used to be 5x lower and QPS 3x
+	// higher, so the unchanged fresh numbers read as regressions.
+	snap.Serving.P99US /= 5
+	snap.Serving.SustainedQPS *= 3
+	if err := writeSnapshot(snapPath, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code := realMain([]string{"-dir", dir, "-serving", report}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("doctored serving compare exit %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "serving: serving p99") ||
+		!strings.Contains(stderr.String(), "sustained QPS") {
+		t.Errorf("stderr missing serving regressions:\n%s", stderr.String())
+	}
+
+	// A snapshot pair where only one side has the section warns but passes.
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-dir", dir, "-prev", snapPath,
+		"-cur", filepath.Join(dir, "BENCH_2.json")}, &stdout, &stderr); code != 1 {
+		// BENCH_2 has the serving section too (written by the doctored run),
+		// so this still regresses; drop it and re-compare.
+		t.Fatalf("sanity compare exit %d\n%s", code, stderr.String())
+	}
+	cur2, err := readSnapshot(filepath.Join(dir, "BENCH_2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2.Serving = nil
+	noServing := filepath.Join(dir, "noserving.json")
+	if err := writeSnapshot(noServing, cur2); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := realMain([]string{"-prev", snapPath, "-cur", noServing}, &stdout, &stderr); code != 0 {
+		t.Fatalf("section-dropped compare exit %d, want 0 (warning only)\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "serving section (gone)") {
+		t.Errorf("stdout missing the gone warning:\n%s", stdout.String())
+	}
+
+	t.Run("unreadable serving report", func(t *testing.T) {
+		var out, errb bytes.Buffer
+		if code := realMain([]string{"-dir", t.TempDir(), "-serving", "/nonexistent.json"}, &out, &errb); code != 2 {
+			t.Errorf("bad -serving exit %d, want 2", code)
+		}
+	})
+}

@@ -1,0 +1,454 @@
+// Command bfsload is the open-loop load generator for bfsd. It drives
+// a mixed OLTP/OLAP query stream at a target rate and reports the
+// latency distribution and sustained throughput:
+//
+//   - OLTP: point reachability queries from zipfian-skewed roots — the
+//     short-request class whose p999 the admission gate protects.
+//   - OLAP: multi-source batches and k-hop sweeps — the long-request
+//     class that would starve OLTP under unbounded admission.
+//
+// Pacing is open loop: request start times are fixed on a schedule
+// before the run and latency is measured from the scheduled start, so
+// a slow server accumulates lateness instead of silently slowing the
+// offered rate (no coordinated omission).
+//
+// Examples:
+//
+//	bfsload -addr 127.0.0.1:8080 -qps 200 -duration 10s -mix mixed
+//	bfsload -addr $(cat bfsd.addr) -qps 500 -mix oltp -out load.json
+//	bfsload -addr host:8080 -mix olap -scrape-metrics m.txt -flight-out flight.json
+//
+// The JSON report (schema crossbfs-load/v1) is what benchreport's
+// -serving flag folds into BENCH_<n>.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// LoadSchema names the report format; bump on breaking changes.
+const LoadSchema = "crossbfs-load/v1"
+
+// classOLTP / classOLAP label the two request classes in reports.
+const (
+	classOLTP = "oltp"
+	classOLAP = "olap"
+)
+
+type config struct {
+	addr       string
+	qps        float64
+	duration   time.Duration
+	mix        string
+	zipfS      float64
+	seed       int64
+	deadlineMS int64
+	khop       int
+	multi      int
+	workers    int
+	out        string
+	metricsOut string
+	flightOut  string
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("bfsload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:8080", "bfsd address (host:port)")
+	fs.Float64Var(&cfg.qps, "qps", 100, "target offered rate, queries per second")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length")
+	fs.StringVar(&cfg.mix, "mix", "mixed", "workload: oltp, olap, or mixed (90/10)")
+	fs.Float64Var(&cfg.zipfS, "zipf", 1.1, "zipf skew of OLTP roots (>1; higher = hotter)")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	fs.Int64Var(&cfg.deadlineMS, "deadline-ms", 0, "per-query deadline sent to the server (0 = server default)")
+	fs.IntVar(&cfg.khop, "khop", 3, "k of OLAP k-hop sweeps")
+	fs.IntVar(&cfg.multi, "multi", 8, "sources per OLAP multi-source batch")
+	fs.IntVar(&cfg.workers, "workers", 64, "max in-flight requests (open-loop executor pool)")
+	fs.StringVar(&cfg.out, "out", "", "write the JSON report here as well as stdout")
+	fs.StringVar(&cfg.metricsOut, "scrape-metrics", "", "after the run, save the server's /metrics page here")
+	fs.StringVar(&cfg.flightOut, "flight-out", "", "after the run, save the server's /debug/flight dump here")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch cfg.mix {
+	case "oltp", "olap", "mixed":
+	default:
+		return nil, fmt.Errorf("unknown -mix %q: want oltp, olap, or mixed", cfg.mix)
+	}
+	if cfg.qps <= 0 {
+		return nil, errors.New("-qps must be positive")
+	}
+	if cfg.zipfS <= 1 {
+		return nil, errors.New("-zipf must be > 1")
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	return cfg, nil
+}
+
+// ClassStats summarizes one request class.
+type ClassStats struct {
+	Sent      int64   `json:"sent"`
+	OK        int64   `json:"ok"`
+	Rejected  int64   `json:"rejected"` // 429
+	Deadline  int64   `json:"deadline"` // 504
+	Errors    int64   `json:"errors"`   // transport + other non-2xx
+	P50US     int64   `json:"p50_us"`
+	P99US     int64   `json:"p99_us"`
+	P999US    int64   `json:"p999_us"`
+	MaxUS     int64   `json:"max_us"`
+	AchvdQPS  float64 `json:"sustained_qps"`
+	latencies []int64
+}
+
+// Report is the bfsload output document.
+type Report struct {
+	Schema     string                `json:"schema"`
+	Addr       string                `json:"addr"`
+	Graph      string                `json:"graph"`
+	Vertices   int                   `json:"vertices"`
+	Mix        string                `json:"mix"`
+	TargetQPS  float64               `json:"target_qps"`
+	DurationMS int64                 `json:"duration_ms"`
+	Total      ClassStats            `json:"total"`
+	Classes    map[string]ClassStats `json:"classes"`
+}
+
+// request is one scheduled query: the class, the ready-to-send body,
+// and the open-loop start time latency is measured from.
+type request struct {
+	class string
+	body  string
+	at    time.Time
+}
+
+// outcome is one completed request.
+type outcome struct {
+	class     string
+	status    int
+	elapsedUS int64
+}
+
+// quantile reads the q-th quantile from sorted latencies (nearest-rank).
+func quantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (c *ClassStats) finish(wall time.Duration) {
+	sort.Slice(c.latencies, func(i, j int) bool { return c.latencies[i] < c.latencies[j] })
+	c.P50US = quantile(c.latencies, 0.50)
+	c.P99US = quantile(c.latencies, 0.99)
+	c.P999US = quantile(c.latencies, 0.999)
+	if n := len(c.latencies); n > 0 {
+		c.MaxUS = c.latencies[n-1]
+	}
+	if wall > 0 {
+		c.AchvdQPS = float64(c.OK) / wall.Seconds()
+	}
+	c.latencies = nil
+}
+
+func (c *ClassStats) observe(o outcome) {
+	c.Sent++
+	switch {
+	case o.status == 200:
+		c.OK++
+		c.latencies = append(c.latencies, o.elapsedUS)
+	case o.status == 429:
+		c.Rejected++
+	case o.status == 504:
+		c.Deadline++
+	default:
+		c.Errors++
+	}
+}
+
+// workload turns the config into a deterministic query stream over a
+// graph of n vertices.
+type workload struct {
+	cfg  *config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int
+}
+
+func newWorkload(cfg *config, vertices int) *workload {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	return &workload{
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.zipfS, 1, uint64(vertices-1)),
+		n:    vertices,
+	}
+}
+
+// next produces the class and body of one query. Zipf output is
+// hottest at 0, so OLTP roots concentrate on low vertex IDs — the
+// skew a real point-lookup tier sees.
+func (w *workload) next() (string, string) {
+	olap := false
+	switch w.cfg.mix {
+	case "olap":
+		olap = true
+	case "mixed":
+		olap = w.rng.Intn(10) == 0
+	}
+	dl := ""
+	if w.cfg.deadlineMS > 0 {
+		dl = fmt.Sprintf(`, "deadline_ms": %d`, w.cfg.deadlineMS)
+	}
+	if !olap {
+		src := int(w.zipf.Uint64())
+		dst := w.rng.Intn(w.n)
+		return classOLTP, fmt.Sprintf(`{"kind": "reach", "source": %d, "target": %d%s}`, src, dst, dl)
+	}
+	if w.rng.Intn(2) == 0 {
+		src := int(w.zipf.Uint64())
+		return classOLAP, fmt.Sprintf(`{"kind": "khop", "source": %d, "k": %d%s}`, src, w.cfg.khop, dl)
+	}
+	srcs := make([]string, w.cfg.multi)
+	for i := range srcs {
+		srcs[i] = fmt.Sprint(w.rng.Intn(w.n))
+	}
+	return classOLAP, fmt.Sprintf(`{"kind": "multi", "sources": [%s]%s}`, strings.Join(srcs, ", "), dl)
+}
+
+// discoverGraph asks /graphs for the (sole) resident graph.
+func discoverGraph(client *http.Client, base string) (name string, vertices int, err error) {
+	resp, err := client.Get(base + "/graphs")
+	if err != nil {
+		return "", 0, fmt.Errorf("querying %s/graphs: %w", base, err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return "", 0, fmt.Errorf("decoding /graphs: %w", err)
+	}
+	if len(payload.Graphs) == 0 {
+		return "", 0, errors.New("server holds no graphs")
+	}
+	g := payload.Graphs[0]
+	if g.Vertices < 2 {
+		return "", 0, fmt.Errorf("graph %s too small to load-test (%d vertices)", g.Name, g.Vertices)
+	}
+	return g.Name, g.Vertices, nil
+}
+
+// drive runs the open-loop schedule against base and aggregates the
+// outcomes into a report.
+func drive(ctx context.Context, cfg *config, client *http.Client, base string) (*Report, error) {
+	name, vertices, err := discoverGraph(client, base)
+	if err != nil {
+		return nil, err
+	}
+	w := newWorkload(cfg, vertices)
+
+	total := int64(cfg.qps * cfg.duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+
+	reqs := make(chan request, cfg.workers)
+	outs := make(chan outcome, cfg.workers)
+
+	var workers sync.WaitGroup
+	for i := 0; i < cfg.workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for r := range reqs {
+				outs <- send(ctx, client, base, r)
+			}
+		}()
+	}
+
+	// The pacer sleeps to each scheduled instant and hands the request
+	// to whichever worker is free; if all are busy the request still
+	// carries its scheduled time, so queueing here shows up as latency,
+	// exactly like an overloaded open-loop client.
+	go func() {
+		defer close(reqs)
+		start := time.Now()
+		for i := int64(0); i < total; i++ {
+			at := start.Add(time.Duration(i) * interval)
+			if d := time.Until(at); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
+			class, body := w.next()
+			select {
+			case <-ctx.Done():
+				return
+			case reqs <- request{class: class, body: body, at: at}:
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { workers.Wait(); close(outs); close(done) }()
+
+	rep := &Report{
+		Schema:    LoadSchema,
+		Addr:      cfg.addr,
+		Graph:     name,
+		Vertices:  vertices,
+		Mix:       cfg.mix,
+		TargetQPS: cfg.qps,
+		Classes:   map[string]ClassStats{},
+	}
+	classes := map[string]*ClassStats{classOLTP: {}, classOLAP: {}}
+	wallStart := time.Now()
+	for o := range outs {
+		rep.Total.observe(o)
+		classes[o.class].observe(o)
+	}
+	<-done
+	wall := time.Since(wallStart)
+	rep.DurationMS = wall.Milliseconds()
+	rep.Total.finish(wall)
+	for name, c := range classes {
+		c.finish(wall)
+		if c.Sent > 0 {
+			rep.Classes[name] = *c
+		}
+	}
+	if ctx.Err() != nil {
+		return rep, fmt.Errorf("run interrupted: %w", ctx.Err())
+	}
+	return rep, nil
+}
+
+// send issues one query, measuring latency from the scheduled start.
+func send(ctx context.Context, client *http.Client, base string, r request) outcome {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", strings.NewReader(r.body))
+	if err != nil {
+		return outcome{class: r.class, status: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	elapsed := time.Since(r.at).Microseconds()
+	if err != nil {
+		return outcome{class: r.class, status: 0, elapsedUS: elapsed}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{class: r.class, status: resp.StatusCode, elapsedUS: elapsed}
+}
+
+// scrape saves one GET endpoint's body to a file.
+func scrape(client *http.Client, url, path string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printReport(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "bfsload: %s on %s (%d vertices), mix=%s, target %.0f qps\n",
+		rep.Graph, rep.Addr, rep.Vertices, rep.Mix, rep.TargetQPS)
+	line := func(label string, c ClassStats) {
+		fmt.Fprintf(w, "  %-6s sent=%d ok=%d 429=%d 504=%d err=%d  p50=%dµs p99=%dµs p999=%dµs  %.1f qps sustained\n",
+			label, c.Sent, c.OK, c.Rejected, c.Deadline, c.Errors, c.P50US, c.P99US, c.P999US, c.AchvdQPS)
+	}
+	line("total", rep.Total)
+	for _, class := range []string{classOLTP, classOLAP} {
+		if c, ok := rep.Classes[class]; ok {
+			line(class, c)
+		}
+	}
+}
+
+func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) error {
+	base := "http://" + cfg.addr
+	client := &http.Client{}
+	rep, err := drive(ctx, cfg, client, base)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, rep)
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+	}
+	if cfg.metricsOut != "" {
+		if err := scrape(client, base+"/metrics", cfg.metricsOut); err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+	}
+	if cfg.flightOut != "" {
+		if err := scrape(client, base+"/debug/flight", cfg.flightOut); err != nil {
+			return fmt.Errorf("fetching /debug/flight: %w", err)
+		}
+	}
+	if rep.Total.OK == 0 {
+		return errors.New("no query succeeded")
+	}
+	return nil
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "bfsload: %v\n", err)
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "bfsload: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// gate is the admission controller: maxConcurrent execution slots plus
+// a bounded count of waiters. The fast path — a free slot, no queueing
+// — is one channel receive and two atomic adds; the overload path
+// rejects instead of queueing without bound, which is what keeps p999
+// finite when offered load exceeds capacity (the open-loop collapse
+// bfsload is built to demonstrate).
+type gate struct {
+	slots chan struct{}
+	depth int64
+	// queued is the current number of waiters; running mirrors the
+	// occupied slots for the /healthz gauge.
+	queued  atomic.Int64
+	running atomic.Int64
+}
+
+func newGate(maxConcurrent, depth int) *gate {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	g := &gate{slots: make(chan struct{}, maxConcurrent), depth: int64(depth)}
+	for i := 0; i < maxConcurrent; i++ {
+		g.slots <- struct{}{}
+	}
+	return g
+}
+
+// enter acquires an execution slot, waiting in the bounded queue if
+// none is free. It returns queueFull() when the queue is at depth and
+// a runError when the context expires while waiting — a request that
+// spends its whole deadline queued is a 504 like any other timeout.
+// The admitted path is allocation-free (one channel receive, two
+// atomic adds); only rejections construct a typed error, which is why
+// this is deliberately not a //lint:hot root.
+func (g *gate) enter(ctx context.Context) *Error {
+	select {
+	case <-g.slots:
+		g.running.Add(1)
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.depth {
+		g.queued.Add(-1)
+		return queueFull()
+	}
+	defer g.queued.Add(-1)
+	select {
+	case <-g.slots:
+		g.running.Add(1)
+		return nil
+	case <-ctx.Done():
+		return runError(ctx.Err())
+	}
+}
+
+// leave releases the slot taken by a successful enter.
+func (g *gate) leave() {
+	g.running.Add(-1)
+	g.slots <- struct{}{}
+}
+
+// serveStats aggregates the request-level counters the obs.Metrics
+// event taxonomy does not cover: admission outcomes, per-kind request
+// counts, and a power-of-two latency histogram. Everything is an
+// atomic, so the hot path pays two adds per request.
+type serveStats struct {
+	requests  atomic.Int64
+	ok        atomic.Int64
+	clientErr atomic.Int64 // 4xx except 429
+	rejected  atomic.Int64 // 429 queue_full
+	deadline  atomic.Int64 // 504
+	serverErr atomic.Int64 // 5xx
+
+	reach atomic.Int64
+	path  atomic.Int64
+	khop  atomic.Int64
+	multi atomic.Int64
+
+	// latencyHist[b] counts OK responses whose service time had
+	// bit-length b in microseconds (bucket b covers [2^(b-1), 2^b)).
+	latencyHist [48]atomic.Int64
+}
+
+func (t *serveStats) observeKind(kind string) {
+	switch kind {
+	case KindReach:
+		t.reach.Add(1)
+	case KindPath:
+		t.path.Add(1)
+	case KindKHop:
+		t.khop.Add(1)
+	case KindMulti:
+		t.multi.Add(1)
+	}
+}
+
+func (t *serveStats) observeOutcome(status int, elapsedUS int64) {
+	switch {
+	case status < 300:
+		t.ok.Add(1)
+		t.latencyHist[histBucket(elapsedUS)].Add(1)
+	case status == 429:
+		t.rejected.Add(1)
+	case status == 504:
+		t.deadline.Add(1)
+	case status >= 500:
+		t.serverErr.Add(1)
+	default:
+		t.clientErr.Add(1)
+	}
+}
+
+// histBucket maps a non-negative value to its power-of-two bucket,
+// clamped to the histogram range (the same shape obs.Metrics uses).
+func histBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for x := uint64(v); x > 0; x >>= 1 {
+		b++
+	}
+	if b >= 48 {
+		b = 47
+	}
+	return b
+}
+
+// Snapshot returns the serve-layer counters keyed by stable names.
+func (t *serveStats) Snapshot(g *gate) map[string]int64 {
+	s := map[string]int64{
+		"serve_requests_total":      t.requests.Load(),
+		"serve_ok_total":            t.ok.Load(),
+		"serve_client_errors_total": t.clientErr.Load(),
+		"serve_rejected_total":      t.rejected.Load(),
+		"serve_deadline_total":      t.deadline.Load(),
+		"serve_server_errors_total": t.serverErr.Load(),
+		"serve_reach_total":         t.reach.Load(),
+		"serve_path_total":          t.path.Load(),
+		"serve_khop_total":          t.khop.Load(),
+		"serve_multi_total":         t.multi.Load(),
+		"serve_inflight":            g.running.Load(),
+		"serve_queued":              g.queued.Load(),
+		"serve_slots":               int64(cap(g.slots)),
+		"serve_queue_depth":         g.depth,
+	}
+	for i := range t.latencyHist {
+		if v := t.latencyHist[i].Load(); v > 0 {
+			s[fmt.Sprintf("serve_latency_us_bucket_2e%02d", i)] = v
+		}
+	}
+	return s
+}
+
+// WriteText appends the serve counters to a /metrics scrape in the
+// same "crossbfs_<name> <value>" shape obs.Metrics.WriteText uses.
+func (t *serveStats) WriteText(w io.Writer, g *gate) error {
+	s := t.Snapshot(g)
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "crossbfs_%s %d\n", k, s[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"crossbfs/internal/bfs"
+)
+
+// Error is the typed error the serve layer hands back to clients: an
+// HTTP status, a stable machine-readable code, and a human message.
+// Handlers encode it as the {"error": {...}} JSON body; the faulterr
+// contract (LINTING.md) is satisfied by construction — every error
+// crossing the client boundary is a *Error, never a bare fmt.Errorf,
+// so callers (and bfsload) switch on Code instead of string-matching.
+type Error struct {
+	// Status is the HTTP status the handler responds with.
+	Status int `json:"-"`
+	// Code is the stable identifier: bad_request, unknown_graph,
+	// queue_full, deadline, canceled, shutting_down, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+	// err is the wrapped cause (ctx errors, *bfs.PanicError), kept so
+	// errors.Is/As see through the boundary type.
+	err error
+}
+
+func (e *Error) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("serve: %s: %s: %v", e.Code, e.Message, e.err)
+	}
+	return fmt.Sprintf("serve: %s: %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.err }
+
+func badRequest(msg string) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: "bad_request", Message: msg}
+}
+
+func unknownGraph(name string) *Error {
+	return &Error{
+		Status:  http.StatusNotFound,
+		Code:    "unknown_graph",
+		Message: fmt.Sprintf("no graph %q is loaded (GET /graphs lists them)", name),
+	}
+}
+
+func queueFull() *Error {
+	return &Error{
+		Status:  http.StatusTooManyRequests,
+		Code:    "queue_full",
+		Message: "request queue is full; retry after the hinted delay",
+	}
+}
+
+func shuttingDown() *Error {
+	return &Error{
+		Status:  http.StatusServiceUnavailable,
+		Code:    "shutting_down",
+		Message: "server is draining; no new queries are admitted",
+	}
+}
+
+// runError classifies an engine error for the client: context
+// expiry maps to 504 (the request-level deadline did its job),
+// cancellation to 499-style 503, contained kernel panics and anything
+// else to 500. The cause stays wrapped for server-side logs.
+func runError(err error) *Error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{
+			Status: http.StatusGatewayTimeout, Code: "deadline",
+			Message: "traversal exceeded the request deadline", err: err,
+		}
+	case errors.Is(err, context.Canceled):
+		return &Error{
+			Status: http.StatusServiceUnavailable, Code: "canceled",
+			Message: "request was canceled before the traversal finished", err: err,
+		}
+	default:
+		var pe *bfs.PanicError
+		if errors.As(err, &pe) {
+			return &Error{
+				Status: http.StatusInternalServerError, Code: "internal",
+				Message: "traversal panicked; see server log", err: err,
+			}
+		}
+		return &Error{
+			Status: http.StatusInternalServerError, Code: "internal",
+			Message: err.Error(), err: err,
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crossbfs/internal/bfs"
+	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxConcurrent = 0 // 0 resolves to GOMAXPROCS at NewServer
+	DefaultQueueDepth    = 64
+	DefaultDeadline      = 2 * time.Second
+	DefaultMaxDeadline   = 30 * time.Second
+	DefaultSampleK       = 8
+)
+
+// Planner cutoffs: graphs below serialCutoff vertices run the serial
+// kernel (parallel dispatch overhead dominates at that size — the same
+// boundary the tuner's corpus shows), graphs at or above shardCutoff
+// run the partitioned engine when the server is configured with ranks.
+const (
+	serialCutoff = 1 << 12
+	shardCutoff  = 1 << 16
+)
+
+// Config tunes a Server. The zero value is serviceable: GOMAXPROCS
+// execution slots, a 64-deep wait queue, a 2s default / 30s maximum
+// per-request deadline, 1-in-8 trace sampling into the default-sized
+// flight recorder, and the process-wide workspace pool.
+type Config struct {
+	// MaxConcurrent is the number of traversals executing at once; 0
+	// selects GOMAXPROCS. Each in-flight traversal leases one workspace.
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for an
+	// execution slot; a request beyond it is rejected with 429
+	// (ErrQueueFull) instead of queueing without bound. Negative
+	// disables waiting entirely (slots only).
+	QueueDepth int
+	// DefaultDeadline applies when a query carries no deadline_ms;
+	// MaxDeadline caps what a query may ask for.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Shards, when > 1, lets the planner pick the partitioned engine
+	// (that many goroutine ranks) for graphs of shardCutoff vertices
+	// or more.
+	Shards int
+	// SampleK keeps 1-in-K traversals (whole) in the flight recorder;
+	// 1 keeps every traversal, 0 selects DefaultSampleK. Metrics are
+	// never sampled.
+	SampleK int
+	// SampleSeed seeds the sampler's keep/drop hash.
+	SampleSeed uint64
+	// FlightKeep / FlightMaxEvents size the flight recorder ring
+	// (<= 0 selects the obs defaults).
+	FlightKeep      int
+	FlightMaxEvents int
+	// Recorder, when non-nil, receives every event the sampled sinks
+	// see (after sampling) — the hook cmd/bfsd uses for -trace-stream.
+	Recorder obs.Recorder
+	// Pool supplies traversal workspaces; nil uses bfs.DefaultPool.
+	Pool *bfs.WorkspacePool
+}
+
+// GraphInfo describes one resident graph (the /graphs payload).
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	// Engine is the kernel the planner chose for this graph, e.g.
+	// "hybrid(64,64)" or "sharded(4,hybrid(64,64))".
+	Engine string `json:"engine"`
+	// Origin records where the graph came from: an R-MAT spec or a
+	// file path.
+	Origin string `json:"origin,omitempty"`
+}
+
+// servedGraph pairs a resident CSR with the engine the planner chose
+// for it at registration time.
+type servedGraph struct {
+	info   GraphInfo
+	g      *graph.CSR
+	engine bfs.Engine
+}
+
+// Server is the daemon core: resident graphs, the admission gate, the
+// workspace pool, and the telemetry spine. It is safe for concurrent
+// use; cmd/bfsd mounts Server.Handler behind net/http.
+type Server struct {
+	cfg     Config
+	metrics *obs.Metrics
+	ring    *obs.Ring
+	sampler *obs.Sampler
+	// rec is the per-traversal recorder chain: metrics always, the
+	// flight ring (and Config.Recorder) behind the 1-in-K sampler.
+	rec   obs.Recorder
+	pool  *bfs.WorkspacePool
+	gate  *gate
+	stats serveStats
+	start time.Time
+
+	mu     sync.RWMutex
+	graphs map[string]*servedGraph
+
+	closeMu  sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+// NewServer builds an empty server; register graphs with AddGraph
+// before serving queries.
+func NewServer(cfg Config) *Server {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = DefaultDeadline
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = DefaultMaxDeadline
+	}
+	if cfg.DefaultDeadline > cfg.MaxDeadline {
+		cfg.DefaultDeadline = cfg.MaxDeadline
+	}
+	if cfg.SampleK <= 0 {
+		cfg.SampleK = DefaultSampleK
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = bfs.DefaultPool
+	}
+	s := &Server{
+		cfg:     cfg,
+		metrics: obs.NewMetrics(),
+		ring:    obs.NewRing(cfg.FlightKeep, cfg.FlightMaxEvents),
+		pool:    cfg.Pool,
+		gate:    newGate(cfg.MaxConcurrent, cfg.QueueDepth),
+		graphs:  make(map[string]*servedGraph),
+		start:   time.Now(),
+	}
+	sampled := obs.Recorder(s.ring)
+	if cfg.Recorder != nil {
+		sampled = obs.Multi(s.ring, cfg.Recorder)
+	}
+	s.sampler = obs.NewSampler(sampled, cfg.SampleK, cfg.SampleSeed)
+	s.rec = obs.Multi(s.sampler, s.metrics)
+	return s
+}
+
+// AddGraph registers g under name and plans its engine. Registering a
+// duplicate name or a nil/empty graph is a configuration mistake and
+// returns a *Error (callers surface it at startup, not to clients).
+func (s *Server) AddGraph(name, origin string, g *graph.CSR) error {
+	if name == "" {
+		return badRequest("graph name must not be empty")
+	}
+	if g == nil || g.NumVertices() == 0 {
+		return badRequest(fmt.Sprintf("graph %q is empty", name))
+	}
+	e := s.planEngine(g)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[name]; dup {
+		return badRequest(fmt.Sprintf("graph %q already registered", name))
+	}
+	s.graphs[name] = &servedGraph{
+		info: GraphInfo{
+			Name:     name,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Engine:   e.Name(),
+			Origin:   origin,
+		},
+		g:      g,
+		engine: e,
+	}
+	return nil
+}
+
+// planEngine is the per-graph kernel planner, mirroring how bfsrun
+// sizes kernels to graphs: the serial reference below serialCutoff
+// vertices (parallel dispatch costs more than it buys there), the
+// partitioned engine at shardCutoff and above when the server is
+// configured with ranks, and the direction-optimizing hybrid at the
+// repo-wide default (M, N) everywhere else.
+func (s *Server) planEngine(g *graph.CSR) bfs.Engine {
+	n := g.NumVertices()
+	switch {
+	case n < serialCutoff:
+		return bfs.SerialEngine()
+	case s.cfg.Shards > 1 && n >= shardCutoff:
+		return bfs.NewShardedEngine(s.cfg.Shards, bfs.DefaultM, bfs.DefaultN)
+	default:
+		return bfs.DefaultEngine()
+	}
+}
+
+// lookup resolves a query's graph: the named graph, or the sole
+// registered graph when the query names none.
+func (s *Server) lookup(name string) (*servedGraph, *Error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.graphs) == 1 {
+			for _, sg := range s.graphs {
+				return sg, nil
+			}
+		}
+		return nil, badRequest(fmt.Sprintf("query names no graph and the server holds %d; set \"graph\"", len(s.graphs)))
+	}
+	sg, ok := s.graphs[name]
+	if !ok {
+		return nil, unknownGraph(name)
+	}
+	return sg, nil
+}
+
+// Graphs lists the resident graphs in name order.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	infos := make([]GraphInfo, 0, len(s.graphs))
+	for _, sg := range s.graphs {
+		infos = append(infos, sg.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Metrics exposes the server's always-on counter aggregator.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// FlightRecorder exposes the sampled flight-recorder ring (the
+// /debug/flight payload source).
+func (s *Server) FlightRecorder() *obs.Ring { return s.ring }
+
+// SamplerStats reports the sampler's seen/kept counters.
+func (s *Server) SamplerStats() (seen, kept uint64) {
+	return s.sampler.Seen(), s.sampler.Kept()
+}
+
+// begin admits one request into the in-flight set; it fails once Close
+// has started so shutdown drains deterministically.
+func (s *Server) begin() *Error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return shuttingDown()
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// Close stops admitting queries and waits for the in-flight ones to
+// finish. It does not touch the HTTP listener — cmd/bfsd shuts the
+// net/http server down first, then Closes the core.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.inflight.Wait()
+}
+
+// deadlineFor clamps a query's requested deadline to the configured
+// window: 0 selects the default, anything above MaxDeadline is capped.
+func (s *Server) deadlineFor(ms int64) time.Duration {
+	if ms <= 0 {
+		return s.cfg.DefaultDeadline
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxDeadline {
+		return s.cfg.MaxDeadline
+	}
+	return d
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# serve-smoke: the end-to-end serving gate. Boots bfsd on a loopback
+# port with a scale-14 R-MAT graph, drives a short mixed OLTP/OLAP
+# bfsload run against it, then asserts the two observability surfaces:
+# the /metrics scrape carries the serve counters and the /debug/flight
+# dump is a valid Chrome trace per tracecheck. Wired into `make verify`
+# as the serve-smoke target; see SERVING.md for the endpoints it hits.
+set -eu
+
+GO=${GO:-go}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/crossbfs-serve-smoke.XXXXXX")
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT INT TERM
+
+$GO build -o "$DIR/bfsd" ./cmd/bfsd
+$GO build -o "$DIR/bfsload" ./cmd/bfsload
+$GO build -o "$DIR/tracecheck" ./cmd/tracecheck
+
+"$DIR/bfsd" -graph smoke=rmat:14:8:42 -listen 127.0.0.1:0 \
+    -addrfile "$DIR/addr" -sample 2 &
+DPID=$!
+
+# Wait for the daemon to bind (it writes -addrfile once listening).
+i=0
+while [ ! -s "$DIR/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: bfsd never bound" >&2
+        exit 1
+    fi
+    if ! kill -0 "$DPID" 2>/dev/null; then
+        echo "serve-smoke: bfsd exited during startup" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$DIR/addr")
+
+"$DIR/bfsload" -addr "$ADDR" -qps 200 -duration 3s -mix mixed -seed 42 \
+    -out "$DIR/load.json" \
+    -scrape-metrics "$DIR/metrics.txt" \
+    -flight-out "$DIR/flight.json"
+
+grep -q "crossbfs_serve_requests_total" "$DIR/metrics.txt" || {
+    echo "serve-smoke: /metrics scrape misses the serve counters" >&2
+    exit 1
+}
+grep -q "crossbfs_traversals_total" "$DIR/metrics.txt" || {
+    echo "serve-smoke: /metrics scrape misses the obs counters" >&2
+    exit 1
+}
+"$DIR/tracecheck" "$DIR/flight.json"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
+DPID=""
+echo "serve-smoke: ok"
