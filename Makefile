@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-json race trace-smoke chaos serve-smoke bench-report verify fuzz fuzz-faults
+.PHONY: all build test lint lint-json race trace-smoke chaos serve-smoke metrics-smoke bench-report verify fuzz fuzz-faults
 
 all: verify
 
@@ -56,11 +56,20 @@ chaos:
 	$(GO) run ./cmd/bfsrun -chaos
 
 # serve-smoke is the end-to-end serving gate: boot bfsd on a loopback
-# port with a scale-14 graph, drive a short mixed bfsload run, check
-# the /metrics scrape for the serve counters, and tracecheck the
-# flight-recorder dump. See SERVING.md.
+# port with a scale-14 graph and an impossible SLO, drive a short
+# mixed bfsload run, check the /metrics scrape for the serve counters,
+# tracecheck the flight-recorder dump, and assert the injected breach
+# captured exactly one incident bundle. See SERVING.md.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
+
+# metrics-smoke is the exposition-format gate: boot bfsd, push a
+# little traffic, and validate the live /metrics page with expcheck
+# (HELP/TYPE metadata, family contiguity, histogram bucket
+# discipline), plus the /healthz vs /readyz split. See
+# OBSERVABILITY.md.
+metrics-smoke:
+	GO="$(GO)" sh scripts/metrics-smoke.sh
 
 # bench-report runs the benchmark suite and snapshots the numbers to
 # the next BENCH_<n>.json at the repo root, failing when any benchmark
@@ -75,7 +84,7 @@ SERVINGREPORT ?=
 bench-report:
 	$(GO) run ./cmd/benchreport -benchtime $(BENCHTIME) -threshold $(BENCHTHRESHOLD) $(if $(SERVINGREPORT),-serving $(SERVINGREPORT))
 
-verify: build lint test race trace-smoke chaos serve-smoke
+verify: build lint test race trace-smoke chaos serve-smoke metrics-smoke
 
 # fuzz gives the heuristic-switch fuzzer a short budget; CI-style
 # smoke, not a soak. Override FUZZTIME for longer runs.

@@ -305,6 +305,41 @@ type (
 	TraceSummary = obs.TraceSummary
 )
 
+// Dimensional metrics and SLO surface. A MetricsRegistry holds
+// label-aware counter/gauge/histogram families rendered in Prometheus
+// text exposition format v0.0.4; an SLOEngine evaluates declarative
+// latency/error objectives over those families with multi-window burn
+// rates. See OBSERVABILITY.md §dimensional metrics.
+type (
+	// MetricsRegistry is the label-aware metric registry (obs.Registry).
+	MetricsRegistry = obs.Registry
+	// MetricFamily is one named family of labeled cells.
+	MetricFamily = obs.Family
+	// MetricCell is one pre-interned label combination; Inc/Add/Set/
+	// Observe on a Cell are lock-free atomics.
+	MetricCell = obs.Cell
+	// RegistryRecorder aggregates telemetry events into a registry's
+	// dimensional families (the labeled twin of Metrics).
+	RegistryRecorder = obs.RegistryRecorder
+	// SLOObjective is one parsed declarative objective
+	// ("oltp p99 < 2ms over 5m", "error ratio < 0.1% over 30m").
+	SLOObjective = obs.Objective
+	// SLOEngine evaluates objectives with multi-window burn rates and
+	// fires a breach hook under a cooldown (obs.SLO).
+	SLOEngine = obs.SLO
+	// SLOObjectiveSource binds a parsed objective to the counter
+	// source the engine samples each tick.
+	SLOObjectiveSource = obs.SLOObjective
+	// SLOEngineOptions tunes the evaluator (burn threshold, short
+	// window divisor, breach cooldown and hook); zero values take the
+	// defaults.
+	SLOEngineOptions = obs.SLOOptions
+	// SLOVerdict is one objective's most recent evaluation.
+	SLOVerdict = obs.Verdict
+	// ExpositionStats summarizes a validated exposition page.
+	ExpositionStats = obs.ExpoStats
+)
+
 // NopRecorder is the explicit no-op Recorder: passing it (or nil) to
 // any observed entry point keeps the traversal on the zero-allocation
 // fast path, with all per-event work compiled out behind one branch.
@@ -355,6 +390,45 @@ func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 // OBSERVABILITY.md, returning a summary with per-timeline direction
 // sequences. cmd/tracecheck is its CLI form.
 func ValidateTrace(data []byte) (*TraceSummary, error) { return obs.ValidateTrace(data) }
+
+// NewMetricsRegistry returns an empty dimensional metric registry.
+// Register families with Counter/Gauge/Histogram, pre-intern label
+// combinations with With, and render the page with WriteExposition.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRegistryRecorder returns a Recorder that aggregates telemetry
+// events into reg's dimensional families, labeling each sample with
+// the given engine name. It is the labeled twin of NewMetrics and
+// shares its hot-path contract (atomic cells, no per-event
+// allocation).
+func NewRegistryRecorder(reg *MetricsRegistry, engine string) *RegistryRecorder {
+	return obs.NewRegistryRecorder(reg, engine)
+}
+
+// NewSLOEngine returns an evaluator over the given objective/source
+// bindings. Drive it with Tick at the poll interval; Tick(now) is
+// pure in now, so tests replay synthetic timelines.
+func NewSLOEngine(objs []SLOObjectiveSource, opt SLOEngineOptions) *SLOEngine {
+	return obs.NewSLO(objs, opt)
+}
+
+// ParseSLOObjective parses one declarative objective spec — either
+// "<selector> p<q> < <latency> over <window>" or
+// "error ratio < <pct>% over <window>" — into an SLOObjective.
+func ParseSLOObjective(spec string) (SLOObjective, error) { return obs.ParseObjective(spec) }
+
+// ValidateExposition checks that r holds well-formed Prometheus text
+// exposition v0.0.4 — typed families carry HELP and TYPE, samples of
+// one family are contiguous, histograms end in a +Inf bucket with
+// monotone cumulative counts. cmd/expcheck is its CLI form.
+func ValidateExposition(r io.Reader) (ExpositionStats, error) { return obs.ValidateExposition(r) }
+
+// HistogramQuantile reconstructs the q-quantile (0 < q <= 1) from
+// cumulative le-buckets as scraped off an exposition page, returning
+// the smallest bucket boundary covering the target rank.
+func HistogramQuantile(q float64, buckets []obs.HistBucket) float64 {
+	return obs.HistogramQuantile(q, buckets)
+}
 
 // BFSObserved is BFSWithContext with telemetry: every level emits one
 // event to rec (traversal bracket, per-level counts, direction

@@ -2,7 +2,9 @@ package crossbfs
 
 import (
 	"bytes"
+	"strings"
 	"testing"
+	"time"
 )
 
 // TestPublicObservabilitySurface drives the re-exported serving-grade
@@ -61,5 +63,62 @@ func TestPublicObservabilitySurface(t *testing.T) {
 	}
 	if _, err := ValidateTrace(dump.Bytes()); err != nil {
 		t.Fatalf("flight-recorder dump invalid: %v", err)
+	}
+}
+
+// TestPublicDimensionalSurface drives the re-exported dimensional
+// metrics and SLO layer through the public aliases: a BFSMany batch
+// aggregated by a RegistryRecorder, the rendered exposition validated
+// with ValidateExposition, and an SLOEngine breaching on a synthetic
+// error-ratio source built from a registry counter.
+func TestPublicDimensionalSurface(t *testing.T) {
+	g, err := GenerateRMAT(10, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]int32, 8)
+	for i := range roots {
+		roots[i] = int32(i)
+	}
+
+	reg := NewMetricsRegistry()
+	rec := NewRegistryRecorder(reg, "hybrid")
+	if _, err := BFSMany(g, roots, ManyOptions{Recorder: rec, Concurrency: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var page bytes.Buffer
+	if err := reg.WriteExposition(&page); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateExposition(bytes.NewReader(page.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, page.String())
+	}
+	if stats.Families == 0 || stats.Histograms == 0 {
+		t.Fatalf("exposition stats %+v, want families and histograms", stats)
+	}
+	if !strings.Contains(page.String(), `crossbfs_engine_traversals_total{engine="hybrid"} 8`) {
+		t.Errorf("exposition misses the labeled traversal counter:\n%s", page.String())
+	}
+
+	obj, err := ParseSLOObjective("error ratio < 1% over 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := reg.Counter("crossbfs_api_test_errors_total", "synthetic error counter.", "reason").With("server_error")
+	total := 0.0
+	eng := func() *SLOEngine {
+		src := func() (float64, float64) { total += 100; errs.Add(5); return total, errs.Value() }
+		return NewSLOEngine([]SLOObjectiveSource{{Objective: obj, Source: src}}, SLOEngineOptions{})
+	}()
+	now := time.Unix(0, 0)
+	for i := 0; i < 20; i++ {
+		now = now.Add(5 * time.Second)
+		eng.Tick(now)
+	}
+	vs := eng.Verdicts()
+	if len(vs) != 1 || !vs[0].Breaching {
+		t.Fatalf("verdicts %+v, want one breaching verdict for a 5%% error rate against a 1%% objective", vs)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"crossbfs/internal/graph"
+	"crossbfs/internal/obs"
 	"crossbfs/internal/rmat"
 	"crossbfs/internal/serve"
 )
@@ -62,6 +63,19 @@ func (g *graphSpecs) Set(v string) error {
 	return nil
 }
 
+// sloSpecs collects repeated -slo flags.
+type sloSpecs []string
+
+func (s *sloSpecs) String() string { return strings.Join(*s, ",") }
+
+func (s *sloSpecs) Set(v string) error {
+	if _, err := serve.ParseObjectives([]string{v}); err != nil {
+		return err
+	}
+	*s = append(*s, v)
+	return nil
+}
+
 // config carries every bfsd knob so tests can drive run() without a
 // flag set or a real signal.
 type config struct {
@@ -78,6 +92,11 @@ type config struct {
 	sampleSeed    uint64
 	flightKeep    int
 	flightEvents  int
+
+	slo         sloSpecs
+	sloPoll     time.Duration
+	sloCooldown time.Duration
+	incidentDir string
 }
 
 func parseFlags(args []string, stderr *os.File) (*config, error) {
@@ -96,6 +115,10 @@ func parseFlags(args []string, stderr *os.File) (*config, error) {
 	fs.Uint64Var(&cfg.sampleSeed, "sample-seed", 0, "sampler seed")
 	fs.IntVar(&cfg.flightKeep, "flight-keep", 0, "traversals retained by the flight recorder (0 = default)")
 	fs.IntVar(&cfg.flightEvents, "flight-events", 0, "event cap of the flight recorder (0 = default)")
+	fs.Var(&cfg.slo, "slo", `SLO objective, e.g. "oltp p99 < 2ms over 5m" or "error ratio < 0.1% over 30m" (repeatable)`)
+	fs.DurationVar(&cfg.sloPoll, "slo-poll", serve.DefaultSLOPoll, "SLO burn-rate evaluation interval")
+	fs.DurationVar(&cfg.sloCooldown, "slo-cooldown", serve.DefaultSLOCooldown, "minimum spacing between incident captures")
+	fs.StringVar(&cfg.incidentDir, "incident-dir", "", "write breach incident bundles (pprof + flight dump) under this directory")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -139,8 +162,18 @@ func loadGraph(spec string) (*graph.CSR, error) {
 	return g, err
 }
 
-// buildServer loads every configured graph into a serve.Server.
+// buildServer constructs the serve core (no graphs yet — loadGraphs
+// populates it while /readyz already answers 503).
 func buildServer(cfg *config, stderr *os.File) (*serve.Server, error) {
+	objectives, err := serve.ParseObjectives(cfg.slo)
+	if err != nil {
+		return nil, err
+	}
+	if len(objectives) > 0 && cfg.incidentDir != "" {
+		if err := os.MkdirAll(cfg.incidentDir, 0o755); err != nil {
+			return nil, fmt.Errorf("incident dir: %w", err)
+		}
+	}
 	s := serve.NewServer(serve.Config{
 		MaxConcurrent:   cfg.maxConcurrent,
 		QueueDepth:      cfg.queueDepth,
@@ -151,26 +184,46 @@ func buildServer(cfg *config, stderr *os.File) (*serve.Server, error) {
 		SampleSeed:      cfg.sampleSeed,
 		FlightKeep:      cfg.flightKeep,
 		FlightMaxEvents: cfg.flightEvents,
+		Objectives:      objectives,
+		SLOPoll:         cfg.sloPoll,
+		SLOCooldown:     cfg.sloCooldown,
+		IncidentDir:     cfg.incidentDir,
+		OnIncident: func(dir string, v obs.Verdict, err error) {
+			if err != nil {
+				fmt.Fprintf(stderr, "bfsd: incident capture failed (%s): %v\n", v.Objective, err)
+				return
+			}
+			fmt.Fprintf(stderr, "bfsd: SLO breach (%s, burn %.1fx): incident bundle at %s\n",
+				v.Objective, v.BurnLong, dir)
+		},
 	})
+	return s, nil
+}
+
+// loadGraphs materializes every -graph spec into the core.
+func loadGraphs(s *serve.Server, cfg *config, stderr *os.File) error {
 	for _, gs := range cfg.graphs {
 		start := time.Now()
 		g, err := loadGraph(gs.spec)
 		if err != nil {
-			return nil, fmt.Errorf("loading graph %s=%s: %w", gs.name, gs.spec, err)
+			return fmt.Errorf("loading graph %s=%s: %w", gs.name, gs.spec, err)
 		}
 		if err := s.AddGraph(gs.name, gs.spec, g); err != nil {
-			return nil, fmt.Errorf("registering graph %s: %w", gs.name, err)
+			return fmt.Errorf("registering graph %s: %w", gs.name, err)
 		}
 		fmt.Fprintf(stderr, "bfsd: graph %s: %d vertices, %d edges, engine %s (%.1fs)\n",
 			gs.name, g.NumVertices(), g.NumEdges(),
 			s.Graphs()[len(s.Graphs())-1].Engine, time.Since(start).Seconds())
 	}
-	return s, nil
+	return nil
 }
 
-// run is the daemon body: bind, announce, serve until ctx is canceled,
-// then drain — listener first so no new connections arrive, then the
-// serve core so in-flight traversals finish.
+// run is the daemon body. Order matters for the probes: bind and serve
+// first (so /healthz and a 503 /readyz answer while graphs build), then
+// load graphs, then arm readiness and announce the address — the
+// addrfile appears only once the daemon would pass /readyz. Shutdown
+// drains in reverse: readiness drops, the listener closes, then the
+// serve core waits out in-flight traversals.
 func run(ctx context.Context, cfg *config, stderr *os.File) error {
 	core, err := buildServer(cfg, stderr)
 	if err != nil {
@@ -178,20 +231,30 @@ func run(ctx context.Context, cfg *config, stderr *os.File) error {
 	}
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
+		core.Close()
 		return fmt.Errorf("listening on %s: %w", cfg.listen, err)
 	}
 	addr := ln.Addr().String()
+	hs := &http.Server{Handler: core.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	if err := loadGraphs(core, cfg, stderr); err != nil {
+		hs.Close()
+		core.Close()
+		<-errc
+		return err
+	}
+	core.SetReady(true)
 	if cfg.addrFile != "" {
 		if err := os.WriteFile(cfg.addrFile, []byte(addr+"\n"), 0o644); err != nil {
-			ln.Close()
+			hs.Close()
+			core.Close()
+			<-errc
 			return fmt.Errorf("writing addrfile: %w", err)
 		}
 	}
 	fmt.Fprintf(stderr, "bfsd: serving %d graph(s) on http://%s\n", len(core.Graphs()), addr)
-
-	hs := &http.Server{Handler: core.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- hs.Serve(ln) }()
 
 	select {
 	case <-ctx.Done():

@@ -24,6 +24,9 @@ func TestParseFlags(t *testing.T) {
 		{"no graphs", []string{"-listen", ":0"}, false},
 		{"malformed graph", []string{"-graph", "nospec"}, false},
 		{"empty name", []string{"-graph", "=rmat:10:8"}, false},
+		{"slo objective", []string{"-graph", "g=rmat:10:8", "-slo", "oltp p99 < 2ms over 5m", "-slo", "error ratio < 1% over 10m"}, true},
+		{"malformed slo", []string{"-graph", "g=rmat:10:8", "-slo", "p99 fast please"}, false},
+		{"unknown slo selector", []string{"-graph", "g=rmat:10:8", "-slo", "backend p99 < 2ms over 5m"}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -93,6 +96,7 @@ func TestDaemonEndToEnd(t *testing.T) {
 		"-listen", "127.0.0.1:0",
 		"-addrfile", addrFile,
 		"-sample", "1",
+		"-slo", "oltp p99 < 100ms over 1m",
 	}, os.Stderr)
 	if err != nil {
 		t.Fatalf("parseFlags: %v", err)
@@ -135,6 +139,37 @@ func TestDaemonEndToEnd(t *testing.T) {
 	resp.Body.Close()
 	if h.Status != "ok" || h.Graphs != 1 {
 		t.Fatalf("/healthz = %+v", h)
+	}
+
+	// The addrfile appears only after readiness is armed, so /readyz
+	// must already be 200.
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz = %d after addrfile, want 200", resp.StatusCode)
+	}
+
+	// The -slo objective shows up on /debug/slo.
+	resp, err = http.Get(base + "/debug/slo")
+	if err != nil {
+		t.Fatalf("GET /debug/slo: %v", err)
+	}
+	var slo struct {
+		Objectives []struct {
+			Objective string `json:"objective"`
+		} `json:"objectives"`
+	}
+	sloBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(sloBody, &slo); err != nil {
+		t.Fatalf("decoding /debug/slo: %v (%s)", err, sloBody)
+	}
+	if len(slo.Objectives) != 1 || slo.Objectives[0].Objective != "oltp p99 < 100ms over 1m" {
+		t.Errorf("/debug/slo = %s", sloBody)
 	}
 
 	resp, err = http.Post(base+"/query", "application/json",

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -38,6 +39,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"crossbfs/internal/obs"
 )
 
 // LoadSchema names the report format; bump on breaking changes.
@@ -117,7 +120,19 @@ type ClassStats struct {
 	latencies []int64
 }
 
-// Report is the bfsload output document.
+// ServerSide is the server's own view of one class's latency,
+// reconstructed from the crossbfs_query_latency_seconds le-histogram on
+// /metrics. Client p99 includes scheduling lateness and the network;
+// server p99 is pure service time — the gap between the two is queueing
+// delay, which is exactly what an open-loop run is meant to expose.
+type ServerSide struct {
+	Count int64 `json:"count"`
+	P50US int64 `json:"p50_us"`
+	P99US int64 `json:"p99_us"`
+}
+
+// Report is the bfsload output document. Server is present only when
+// -scrape-metrics ran (additive, so the crossbfs-load/v1 schema holds).
 type Report struct {
 	Schema     string                `json:"schema"`
 	Addr       string                `json:"addr"`
@@ -128,6 +143,7 @@ type Report struct {
 	DurationMS int64                 `json:"duration_ms"`
 	Total      ClassStats            `json:"total"`
 	Classes    map[string]ClassStats `json:"classes"`
+	Server     map[string]ServerSide `json:"server,omitempty"`
 }
 
 // request is one scheduled query: the class, the ready-to-send body,
@@ -385,6 +401,62 @@ func scrape(client *http.Client, url, path string) error {
 	return f.Close()
 }
 
+// serverQuantiles reads a /metrics exposition page and reconstructs
+// the server-side latency view per workload class from the
+// crossbfs_query_latency_seconds histogram. The server buckets in
+// powers of two of a microsecond — the same shape the client quantiles
+// use — so the two views disagree by at most one bucket plus genuine
+// queueing delay.
+func serverQuantiles(page io.Reader) (map[string]ServerSide, error) {
+	families, err := obs.ParseExposition(page)
+	if err != nil {
+		return nil, err
+	}
+	var fam *obs.ExpoFamily
+	for i := range families {
+		if families[i].Name == "crossbfs_query_latency_seconds" {
+			fam = &families[i]
+			break
+		}
+	}
+	if fam == nil {
+		return nil, errors.New("/metrics has no crossbfs_query_latency_seconds family")
+	}
+	out := map[string]ServerSide{}
+	for _, sel := range []struct {
+		name string
+		want map[string]string
+	}{
+		{"total", nil},
+		{classOLTP, map[string]string{"class": classOLTP}},
+		{classOLAP, map[string]string{"class": classOLAP}},
+	} {
+		buckets := obs.HistogramBuckets(*fam, sel.want)
+		var count float64
+		for _, b := range buckets {
+			if math.IsInf(b.LE, 1) {
+				count = b.Count
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		toUS := func(q float64) int64 {
+			v := obs.HistogramQuantile(q, buckets)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return int64(v * 1e6)
+		}
+		out[sel.name] = ServerSide{
+			Count: int64(count),
+			P50US: toUS(0.50),
+			P99US: toUS(0.99),
+		}
+	}
+	return out, nil
+}
+
 func printReport(w io.Writer, rep *Report) {
 	fmt.Fprintf(w, "bfsload: %s on %s (%d vertices), mix=%s, target %.0f qps\n",
 		rep.Graph, rep.Addr, rep.Vertices, rep.Mix, rep.TargetQPS)
@@ -398,6 +470,14 @@ func printReport(w io.Writer, rep *Report) {
 			line(class, c)
 		}
 	}
+	if len(rep.Server) > 0 {
+		fmt.Fprintln(w, "  server-side (from /metrics le-histogram):")
+		for _, class := range []string{"total", classOLTP, classOLAP} {
+			if s, ok := rep.Server[class]; ok {
+				fmt.Fprintf(w, "  %-6s count=%d p50=%dµs p99=%dµs\n", class, s.Count, s.P50US, s.P99US)
+			}
+		}
+	}
 }
 
 func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) error {
@@ -407,6 +487,20 @@ func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if cfg.metricsOut != "" {
+		if err := scrape(client, base+"/metrics", cfg.metricsOut); err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+		page, err := os.Open(cfg.metricsOut)
+		if err != nil {
+			return fmt.Errorf("rereading scraped metrics: %w", err)
+		}
+		rep.Server, err = serverQuantiles(page)
+		page.Close()
+		if err != nil {
+			return fmt.Errorf("parsing scraped metrics: %w", err)
+		}
+	}
 	printReport(stdout, rep)
 	if cfg.out != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -415,11 +509,6 @@ func run(ctx context.Context, cfg *config, stdout, stderr io.Writer) error {
 		}
 		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
 			return fmt.Errorf("writing report: %w", err)
-		}
-	}
-	if cfg.metricsOut != "" {
-		if err := scrape(client, base+"/metrics", cfg.metricsOut); err != nil {
-			return fmt.Errorf("scraping /metrics: %w", err)
 		}
 	}
 	if cfg.flightOut != "" {

@@ -165,6 +165,23 @@ func TestRunEndToEnd(t *testing.T) {
 	if !bytes.Contains(mtext, []byte("crossbfs_serve_requests_total")) {
 		t.Error("scraped metrics misses serve counters")
 	}
+
+	// -scrape-metrics also reconstructs the server-side view from the
+	// le-histogram: counts must match the client's OK tally exactly, and
+	// the quantiles must be ordered and positive.
+	srv, ok := rep.Server["total"]
+	if !ok {
+		t.Fatalf("report has no server-side total: %+v", rep.Server)
+	}
+	if srv.Count != rep.Total.OK {
+		t.Errorf("server count %d != client OK %d", srv.Count, rep.Total.OK)
+	}
+	if srv.P50US <= 0 || srv.P99US < srv.P50US {
+		t.Errorf("server quantiles implausible: %+v", srv)
+	}
+	if !strings.Contains(stdout.String(), "server-side") {
+		t.Errorf("stdout misses the server-side block:\n%s", stdout.String())
+	}
 	ftext, err := os.ReadFile(flight)
 	if err != nil {
 		t.Fatalf("reading flight dump: %v", err)
@@ -213,5 +230,44 @@ func TestRealMainBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := realMain([]string{"-mix", "bogus"}, &stdout, &stderr); code != 2 {
 		t.Errorf("realMain = %d, want 2", code)
+	}
+}
+
+// TestServerQuantiles pins the exposition → quantile reconstruction on
+// a hand-written page: 3 observations at ≤1ms and 1 at ≤1s for oltp.
+func TestServerQuantiles(t *testing.T) {
+	page := `# HELP crossbfs_query_latency_seconds Query service time.
+# TYPE crossbfs_query_latency_seconds histogram
+crossbfs_query_latency_seconds_bucket{class="oltp",kind="reach",le="0.001"} 3
+crossbfs_query_latency_seconds_bucket{class="oltp",kind="reach",le="1"} 4
+crossbfs_query_latency_seconds_bucket{class="oltp",kind="reach",le="+Inf"} 4
+crossbfs_query_latency_seconds_sum{class="oltp",kind="reach"} 1.003
+crossbfs_query_latency_seconds_count{class="oltp",kind="reach"} 4
+`
+	srv, err := serverQuantiles(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("serverQuantiles: %v", err)
+	}
+	oltp, ok := srv[classOLTP]
+	if !ok {
+		t.Fatalf("no oltp entry: %+v", srv)
+	}
+	if oltp.Count != 4 || oltp.P50US != 1000 || oltp.P99US != 1000000 {
+		t.Errorf("oltp = %+v, want count 4, p50 1000µs, p99 1000000µs", oltp)
+	}
+	total := srv["total"]
+	if total.Count != 4 {
+		t.Errorf("total count = %d, want 4", total.Count)
+	}
+	if _, ok := srv[classOLAP]; ok {
+		t.Error("olap entry with no olap traffic")
+	}
+}
+
+// TestServerQuantilesMissingFamily pins the error path: a legacy-only
+// page (no histogram family) must not crash the report.
+func TestServerQuantilesMissingFamily(t *testing.T) {
+	if _, err := serverQuantiles(strings.NewReader("crossbfs_serve_requests_total 7\n")); err == nil {
+		t.Error("page without the latency family accepted")
 	}
 }

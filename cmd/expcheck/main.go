@@ -1,0 +1,89 @@
+// Command expcheck validates a Prometheus text exposition page — a
+// saved /metrics scrape or a live endpoint — against the format rules
+// internal/obs renders and documents in OBSERVABILITY.md: HELP/TYPE
+// metadata before samples, contiguous families, no duplicate series,
+// well-formed histograms (cumulative buckets, +Inf, _count/_sum). It is
+// the assertion half of `make metrics-smoke`.
+//
+//	bfsload -addr $(cat bfsd.addr) -scrape-metrics m.txt && expcheck m.txt
+//	expcheck -url http://127.0.0.1:8080/metrics
+//	expcheck -summary m.txt
+//
+// Exit codes: 0 the page is a valid exposition, 1 it is malformed or
+// unreadable, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"crossbfs/internal/obs"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("expcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	url := fs.String("url", "", "scrape this URL instead of reading a file")
+	summary := fs.Bool("summary", false, "list every family with its type and sample count")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var (
+		page io.ReadCloser
+		name string
+	)
+	switch {
+	case *url != "" && fs.NArg() == 0:
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(*url)
+		if err != nil {
+			fmt.Fprintf(stderr, "expcheck: %v\n", err)
+			return 1
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fmt.Fprintf(stderr, "expcheck: GET %s: status %d\n", *url, resp.StatusCode)
+			return 1
+		}
+		page, name = resp.Body, *url
+	case *url == "" && fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "expcheck: %v\n", err)
+			return 1
+		}
+		page, name = f, fs.Arg(0)
+	default:
+		fmt.Fprintln(stderr, "usage: expcheck <file> | expcheck -url http://host:port/metrics")
+		return 2
+	}
+	defer page.Close()
+
+	if *summary {
+		families, err := obs.ParseExposition(page)
+		if err != nil {
+			fmt.Fprintf(stderr, "expcheck: %s: %v\n", name, err)
+			return 1
+		}
+		for _, f := range families {
+			fmt.Fprintf(stdout, "%-12s %-50s %d samples\n", f.Type, f.Name, len(f.Samples))
+		}
+		return 0
+	}
+	stats, err := obs.ValidateExposition(page)
+	if err != nil {
+		fmt.Fprintf(stderr, "expcheck: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "expcheck: %s: ok (%d families, %d samples, %d histograms)\n",
+		name, stats.Families, stats.Samples, stats.Histograms)
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goodPage = `# HELP crossbfs_demo_total A demo counter.
+# TYPE crossbfs_demo_total counter
+crossbfs_demo_total{engine="hybrid"} 3
+# HELP crossbfs_demo_seconds A demo histogram.
+# TYPE crossbfs_demo_seconds histogram
+crossbfs_demo_seconds_bucket{le="0.001"} 1
+crossbfs_demo_seconds_bucket{le="+Inf"} 2
+crossbfs_demo_seconds_sum 1.5
+crossbfs_demo_seconds_count 2
+crossbfs_flat_legacy 7
+`
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "page.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExpcheckValidFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{write(t, goodPage)}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"ok", "3 families", "1 histograms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q: %s", want, out)
+		}
+	}
+}
+
+func TestExpcheckRejectsMalformed(t *testing.T) {
+	// The histogram misses its +Inf bucket.
+	bad := "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket{le=\"1\"} 1\ncrossbfs_h_sum 1\ncrossbfs_h_count 1\n"
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{write(t, bad)}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for malformed page, want 1 (%s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "crossbfs_h") {
+		t.Errorf("error does not name the family: %s", stderr.String())
+	}
+}
+
+func TestExpcheckURL(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(goodPage))
+	}))
+	defer ts.Close()
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-url", ts.URL}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+}
+
+func TestExpcheckSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain([]string{"-summary", write(t, goodPage)}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	for _, want := range []string{"counter", "histogram", "untyped", "crossbfs_demo_seconds"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary misses %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestExpcheckUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := realMain(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-arg exit %d, want 2", code)
+	}
+	if code := realMain([]string{"-url", "http://x", "file"}, &stdout, &stderr); code != 2 {
+		t.Errorf("url+file exit %d, want 2", code)
+	}
+}

@@ -30,6 +30,9 @@ func BenchmarkRunManyRecorderOverhead(b *testing.B) {
 		{"sampled", func() obs.Recorder { return obs.NewSampler(&countRecorder{}, 8, 1) }},
 		{"stream", func() obs.Recorder { return obs.NewStreamWriter(io.Discard) }},
 		{"ring", func() obs.Recorder { return obs.NewRing(8, 0) }},
+		{"labeled", func() obs.Recorder {
+			return obs.NewRegistryRecorder(obs.NewRegistry(), "hybrid(64,64)")
+		}},
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"sort"
 	"strings"
@@ -32,6 +33,11 @@ import (
 //     switch over a Kind value with no default must name every
 //     declared kind — this is what catches "added a Kind, forgot the
 //     trace encoder case".
+//   - Family registration: Counter/Gauge/Histogram calls on a metrics
+//     Registry must pass a compile-time-constant family name in the
+//     crossbfs_ namespace and constant, non-empty HELP text. The
+//     registry panics on these at runtime too, but that panic fires at
+//     first construction in production; lint fires at build time.
 //
 // Suppress with //lint:obs-ok and a rationale.
 var ObsDiscipline = &Analyzer{
@@ -215,7 +221,98 @@ func runObsDiscipline(pass *Pass) error {
 
 	// Exhaustive Kind switches in the declaring package.
 	checkKindSwitches(pass, ctx)
+
+	// Family registration discipline on metric registries.
+	checkRegistryCalls(pass)
 	return nil
+}
+
+// familyMethods maps the registering method names to the index of
+// their help argument (the name is always argument 0).
+var familyMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// registryReceiver reports whether t is (a pointer to) a named type
+// called Registry whose package also declares a Family type — the
+// dimensional metrics layer's shape, checked structurally so testdata
+// mimics qualify without hardcoding an import path.
+func registryReceiver(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return false
+	}
+	p := named.Obj().Pkg()
+	if p == nil {
+		return false
+	}
+	fam, _ := p.Scope().Lookup("Family").(*types.TypeName)
+	return fam != nil
+}
+
+// validFamilyName mirrors the registry's runtime name rule plus the
+// repo namespace: crossbfs_ prefix, then metric-name characters.
+func validFamilyName(name string) bool {
+	if !strings.HasPrefix(name, "crossbfs_") {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// checkRegistryCalls enforces the family-registration discipline.
+func checkRegistryCalls(pass *Pass) {
+	inspectAll(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !familyMethods[sel.Sel.Name] {
+			return true
+		}
+		recv := pass.TypeOf(sel.X)
+		if recv == nil || !registryReceiver(recv) {
+			return true
+		}
+		if name, isConst := constString(pass, call.Args[0]); !isConst {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric family name passed to Registry.%s is not a compile-time constant: "+
+					"dynamic names defeat the exposition page's fixed schema; use a literal "+
+					"or annotate //lint:obs-ok", sel.Sel.Name)
+		} else if !validFamilyName(name) {
+			pass.Reportf(call.Args[0].Pos(),
+				"metric family %q is outside the crossbfs_ namespace or uses invalid "+
+					"characters (want crossbfs_[a-zA-Z0-9_:]+); rename it or annotate //lint:obs-ok", name)
+		}
+		if help, isConst := constString(pass, call.Args[1]); !isConst {
+			pass.Reportf(call.Args[1].Pos(),
+				"HELP text passed to Registry.%s is not a compile-time constant; "+
+					"write the help string inline or annotate //lint:obs-ok", sel.Sel.Name)
+		} else if strings.TrimSpace(help) == "" {
+			pass.Reportf(call.Args[1].Pos(),
+				"metric family registered with empty HELP text: every family must "+
+					"document itself on the exposition page; add help or annotate //lint:obs-ok")
+		}
+		return true
+	})
+}
+
+// constString resolves an expression to its constant string value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
 }
 
 // openerHelper reports whether fn's first result type carries an

@@ -14,6 +14,10 @@ func TestObsDisciplineSchemaGolden(t *testing.T) {
 	runGolden(t, ObsDiscipline, "obsschema")
 }
 
+func TestObsDisciplineRegistryGolden(t *testing.T) {
+	runGolden(t, ObsDiscipline, "obsregistry")
+}
+
 // TestRegisteredKindsFresh pins the analyzer's kind registry to the
 // real obs.Kind constant block: every declared kind has a String()
 // case ("unknown" marks the end of the block), and the registry must

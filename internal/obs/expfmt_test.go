@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const goodPage = `# HELP crossbfs_engine_traversals_total Traversals started.
+# TYPE crossbfs_engine_traversals_total counter
+crossbfs_engine_traversals_total{engine="serial"} 3
+# HELP crossbfs_query_latency_seconds Query latency.
+# TYPE crossbfs_query_latency_seconds histogram
+crossbfs_query_latency_seconds_bucket{class="oltp",le="0.001"} 1
+crossbfs_query_latency_seconds_bucket{class="oltp",le="0.01"} 3
+crossbfs_query_latency_seconds_bucket{class="oltp",le="+Inf"} 4
+crossbfs_query_latency_seconds_sum{class="oltp"} 0.42
+crossbfs_query_latency_seconds_count{class="oltp"} 4
+crossbfs_serve_requests_total 17
+crossbfs_traversals_total 9
+`
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	st, err := ValidateExposition(strings.NewReader(goodPage))
+	if err != nil {
+		t.Fatalf("good page rejected: %v", err)
+	}
+	if st.Families != 4 || st.Typed != 2 {
+		t.Errorf("stats = %+v, want 4 families / 2 typed", st)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string
+	}{
+		{"bad metric name", "1metric 3\n", "invalid metric name"},
+		{"missing value", "crossbfs_x_total\n", "no value"},
+		{"bad value", "crossbfs_x_total pancake\n", "bad value"},
+		{"unknown type", "# TYPE crossbfs_x_total pie\n", "unknown type"},
+		{"duplicate TYPE", "# TYPE crossbfs_x_total counter\n# TYPE crossbfs_x_total counter\n", "second TYPE"},
+		{"duplicate HELP", "# HELP crossbfs_x_total a\n# HELP crossbfs_x_total b\n", "second HELP"},
+		{"type after samples", "crossbfs_x_total 1\n# TYPE crossbfs_x_total counter\n", "after its samples"},
+		{"duplicate series", "crossbfs_x_total 1\ncrossbfs_x_total 2\n", "duplicate series"},
+		{"duplicate labeled series", `crossbfs_x_total{engine="a"} 1` + "\n" + `crossbfs_x_total{engine="a"} 2` + "\n", "duplicate series"},
+		{"duplicate label", `crossbfs_x_total{engine="a",engine="b"} 1` + "\n", "duplicate label"},
+		{"unquoted label value", `crossbfs_x_total{engine=a} 1` + "\n", "not quoted"},
+		{"interleaved families", "crossbfs_a_total 1\ncrossbfs_b_total 1\ncrossbfs_a_total{engine=\"x\"} 1\n", "reappears"},
+		{"histogram stray base sample", "# TYPE crossbfs_h histogram\ncrossbfs_h 1\n", "stray sample"},
+		{"histogram without +Inf", "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket{le=\"1\"} 1\ncrossbfs_h_sum 1\ncrossbfs_h_count 1\n", "no +Inf"},
+		{"histogram count mismatch", "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket{le=\"+Inf\"} 3\ncrossbfs_h_sum 1\ncrossbfs_h_count 2\n", "_count"},
+		{"histogram decreasing buckets", "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket{le=\"1\"} 5\ncrossbfs_h_bucket{le=\"2\"} 3\ncrossbfs_h_bucket{le=\"+Inf\"} 5\ncrossbfs_h_sum 1\ncrossbfs_h_count 5\n", "decrease"},
+		{"histogram missing sum", "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket{le=\"+Inf\"} 1\ncrossbfs_h_count 1\n", "missing _sum"},
+		{"bucket without le", "# TYPE crossbfs_h histogram\ncrossbfs_h_bucket 1\ncrossbfs_h_sum 1\ncrossbfs_h_count 1\n", "without le"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateExposition(strings.NewReader(tc.page))
+			if err == nil {
+				t.Fatalf("page accepted:\n%s", tc.page)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	fams, err := ParseExposition(strings.NewReader(goodPage))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	byName := make(map[string]ExpoFamily)
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	trav := byName["crossbfs_engine_traversals_total"]
+	if trav.Type != "counter" || len(trav.Samples) != 1 || trav.Samples[0].Value != 3 {
+		t.Errorf("traversals family parsed wrong: %+v", trav)
+	}
+	if trav.Samples[0].Labels["engine"] != "serial" {
+		t.Errorf("label lost: %+v", trav.Samples[0])
+	}
+	lat := byName["crossbfs_query_latency_seconds"]
+	if lat.Type != "histogram" || len(lat.Samples) != 5 {
+		t.Errorf("latency family parsed wrong: %+v", lat)
+	}
+	if flat := byName["crossbfs_serve_requests_total"]; flat.Type != "untyped" || flat.Samples[0].Value != 17 {
+		t.Errorf("untyped legacy line parsed wrong: %+v", flat)
+	}
+}
+
+func TestParseLabelEscapes(t *testing.T) {
+	page := `crossbfs_x_total{graph="a\"b\\c\nd"} 1` + "\n"
+	fams, err := ParseExposition(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	got := fams[0].Samples[0].Labels["graph"]
+	if got != "a\"b\\c\nd" {
+		t.Errorf("unescaped label = %q", got)
+	}
+	// Round-trip through the encoder's escaping.
+	if esc := escapeLabel(got); esc != `a\"b\\c\nd` {
+		t.Errorf("escapeLabel = %q", esc)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	buckets := []HistBucket{
+		{LE: 0.001, Count: 10},
+		{LE: 0.002, Count: 70},
+		{LE: 0.004, Count: 95},
+		{LE: math.Inf(1), Count: 100},
+	}
+	if got := HistogramQuantile(0.5, buckets); got != 0.002 {
+		t.Errorf("p50 = %v, want 0.002", got)
+	}
+	if got := HistogramQuantile(0.99, buckets); !math.IsInf(got, 1) {
+		t.Errorf("p99 = %v, want +Inf", got)
+	}
+	if got := HistogramQuantile(0.9, buckets); got != 0.004 {
+		t.Errorf("p90 = %v, want 0.004", got)
+	}
+	if got := HistogramQuantile(0.5, nil); !math.IsNaN(got) {
+		t.Errorf("empty quantile = %v, want NaN", got)
+	}
+}
+
+// TestQuantileAgreesWithEncoder replays one latency stream through the
+// le-bucket encoder and checks that quantiles reconstructed from the
+// exposition match the exact nearest-rank quantiles to within one
+// power-of-two bucket — the resolution contract bfsload's server-side
+// view depends on.
+func TestQuantileAgreesWithEncoder(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("crossbfs_query_latency_seconds", "Latency.", LatencyBuckets(), LabelClass)
+	c := h.With("oltp")
+	// A long-tailed stream in seconds: mostly ~100-800µs, tail to 40ms.
+	var stream []float64
+	for i := 0; i < 1000; i++ {
+		v := 100e-6 + float64(i%17)*43e-6
+		if i%100 == 0 {
+			v = 10e-3 + float64(i%5)*6e-3
+		}
+		stream = append(stream, v)
+		c.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	fams, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	buckets := HistogramBuckets(fams[0], map[string]string{"class": "oltp"})
+
+	exact := append([]float64(nil), stream...)
+	sortFloats(exact)
+	for _, q := range []float64{0.5, 0.99} {
+		est := HistogramQuantile(q, buckets)
+		idx := int(math.Ceil(q*float64(len(exact)))) - 1
+		truth := exact[idx]
+		// Within one bucket: the estimate is the upper bound of the
+		// bucket holding the true value, so truth <= est <= 2*truth
+		// rounded up to the next power-of-two bound.
+		if est < truth || est > nextPow2Bound(truth) {
+			t.Errorf("q=%v: estimate %v outside [%v, %v]", q, est, truth, nextPow2Bound(truth))
+		}
+	}
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// nextPow2Bound returns the smallest bound in LatencyBuckets() at or
+// above v, times two (one bucket of slack).
+func nextPow2Bound(v float64) float64 {
+	for _, b := range LatencyBuckets() {
+		if b >= v {
+			return 2 * b
+		}
+	}
+	return math.Inf(1)
+}

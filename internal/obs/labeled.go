@@ -1,0 +1,93 @@
+package obs
+
+import "strconv"
+
+// RegistryRecorder bridges the event seam onto labeled families: one
+// instance aggregates the traversal-level event stream for one engine
+// into Registry cells. The dimensional contract is honored by
+// construction — every (engine, dir) and (engine, rank) tuple the
+// recorder will ever touch is interned in NewRegistryRecorder, so
+// Event is nothing but atomic adds on pre-resolved cells: 0 allocs/op,
+// gated by TestRegistryRecorderAllocs and the "labeled" mode of
+// BenchmarkRunManyRecorderOverhead.
+type RegistryRecorder struct {
+	traversals *Cell
+	levels     [2]*Cell // indexed by Direction (td, bu)
+	discovered [2]*Cell
+	frontier   [2]*Cell // histogram of per-level |V|cq
+	levelWall  [2]*Cell // histogram of per-level wall seconds
+	rankBytes  []*Cell  // exchange bytes per rank, when WithRanks ran
+
+	// engine and rankFamily let WithRanks intern late (rank count is
+	// known at plan time, after construction).
+	engine     string
+	rankFamily *Family
+}
+
+// Direction label values.
+const (
+	dirTDLabel = "td"
+	dirBULabel = "bu"
+)
+
+// NewRegistryRecorder registers the engine-level families on reg (a
+// no-op when another recorder already did) and interns the cells for
+// one engine label. Construct once per engine, at wiring time.
+func NewRegistryRecorder(reg *Registry, engine string) *RegistryRecorder {
+	trav := reg.Counter("crossbfs_engine_traversals_total",
+		"Traversals started, by engine.", LabelEngine)
+	levels := reg.Counter("crossbfs_engine_levels_total",
+		"Completed expansion levels, by engine and direction.", LabelEngine, LabelDir)
+	disc := reg.Counter("crossbfs_engine_discovered_total",
+		"Vertices discovered across levels, by engine and direction.", LabelEngine, LabelDir)
+	frontier := reg.Histogram("crossbfs_engine_frontier_vertices",
+		"Per-level frontier size |V|cq, by engine and direction.", SizeBuckets(), LabelEngine, LabelDir)
+	wall := reg.Histogram("crossbfs_engine_level_seconds",
+		"Per-level wall time, by engine and direction.", LatencyBuckets(), LabelEngine, LabelDir)
+	rr := &RegistryRecorder{traversals: trav.With(engine)}
+	for i, dir := range []string{dirTDLabel, dirBULabel} {
+		rr.levels[i] = levels.With(engine, dir)
+		rr.discovered[i] = disc.With(engine, dir)
+		rr.frontier[i] = frontier.With(engine, dir)
+		rr.levelWall[i] = wall.With(engine, dir)
+	}
+	rr.rankFamily = reg.Counter("crossbfs_engine_exchange_bytes_total",
+		"Frontier-exchange payload bytes, by engine and rank.", LabelEngine, LabelRank)
+	rr.engine = engine
+	return rr
+}
+
+// WithRanks interns rank cells 0..n-1 for the sharded exchange
+// counter, so KindExchangeEnd events resolve their rank without a
+// lookup. Call at wiring time, before serving events.
+func (rr *RegistryRecorder) WithRanks(n int) *RegistryRecorder {
+	rr.rankBytes = make([]*Cell, n)
+	for i := 0; i < n; i++ {
+		rr.rankBytes[i] = rr.rankFamily.With(rr.engine, strconv.Itoa(i))
+	}
+	return rr
+}
+
+// Event aggregates one telemetry event into the labeled cells. Only
+// the kinds with a dimensional story are counted; everything else is
+// already covered by the flat Metrics taxonomy.
+func (rr *RegistryRecorder) Event(e Event) {
+	switch e.Kind {
+	case KindTraversalStart:
+		rr.traversals.Inc()
+	case KindLevel:
+		d := 0
+		if e.Dir == BottomUp {
+			d = 1
+		}
+		rr.levels[d].Inc()
+		rr.discovered[d].Add(float64(e.Discovered))
+		rr.frontier[d].Observe(float64(e.FrontierVertices))
+		rr.levelWall[d].Observe(e.WallDur.Seconds())
+	case KindExchangeEnd:
+		if i := int(e.Index); i >= 0 && i < len(rr.rankBytes) {
+			rr.rankBytes[i].Add(float64(e.Bytes))
+		}
+	default:
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+
+	"crossbfs/internal/obs"
 )
 
 // gate is the admission controller: maxConcurrent execution slots plus
@@ -69,10 +71,76 @@ func (g *gate) leave() {
 	g.slots <- struct{}{}
 }
 
+// Admission-outcome reason labels, in the order serveStats interns
+// their cells. The vocabulary mirrors the legacy counters plus the
+// *Error codes: "unavailable" covers 503s (shutting_down, canceled),
+// "deadline" the 504s, "queue_full" the 429s.
+const (
+	reasonOK = iota
+	reasonQueueFull
+	reasonDeadline
+	reasonUnavailable
+	reasonClientError
+	reasonServerError
+	reasonCount
+)
+
+var reasonLabels = [reasonCount]string{
+	reasonOK:          "ok",
+	reasonQueueFull:   "queue_full",
+	reasonDeadline:    "deadline",
+	reasonUnavailable: "unavailable",
+	reasonClientError: "client_error",
+	reasonServerError: "server_error",
+}
+
+// Query-kind indices for the pre-interned latency cells.
+const (
+	kindIdxReach = iota
+	kindIdxPath
+	kindIdxKHop
+	kindIdxMulti
+	kindCount
+)
+
+var kindLabels = [kindCount]string{KindReach, KindPath, KindKHop, KindMulti}
+
+// kindIndex maps a query kind to its cell index, -1 for unknown kinds
+// (which never produce OK responses, so they never observe latency).
+func kindIndex(kind string) int {
+	switch kind {
+	case KindReach:
+		return kindIdxReach
+	case KindPath:
+		return kindIdxPath
+	case KindKHop:
+		return kindIdxKHop
+	case KindMulti:
+		return kindIdxMulti
+	default:
+		return -1
+	}
+}
+
+// classOf buckets kinds into the workload classes bfsload drives:
+// point lookups are OLTP, neighborhood sweeps and batches OLAP.
+func classOf(kind string) string {
+	switch kind {
+	case KindReach, KindPath:
+		return "oltp"
+	default:
+		return "olap"
+	}
+}
+
 // serveStats aggregates the request-level counters the obs.Metrics
 // event taxonomy does not cover: admission outcomes, per-kind request
-// counts, and a power-of-two latency histogram. Everything is an
-// atomic, so the hot path pays two adds per request.
+// counts, and service-time latency. The legacy atomics render the flat
+// crossbfs_serve_* page byte-identically; the labeled cells carry the
+// same stream into the dimensional families (per-class/kind latency
+// histograms, outcomes by reason) the exposition page and the SLO
+// engine read. Both are pre-resolved, so the hot path stays a handful
+// of atomic adds per request.
 type serveStats struct {
 	requests  atomic.Int64
 	ok        atomic.Int64
@@ -89,6 +157,30 @@ type serveStats struct {
 	// latencyHist[b] counts OK responses whose service time had
 	// bit-length b in microseconds (bucket b covers [2^(b-1), 2^b)).
 	latencyHist [48]atomic.Int64
+
+	// Labeled twins, interned at construction.
+	latency  [kindCount]*obs.Cell   // crossbfs_query_latency_seconds{class,kind}
+	outcomes [reasonCount]*obs.Cell // crossbfs_admission_outcomes_total{reason}
+}
+
+// newServeStats interns the labeled cells on reg. The latency bounds
+// are the power-of-two microsecond set (expressed in seconds), bucket
+// for bucket the shape of the legacy latencyHist — which is what lets
+// client- and server-side quantiles agree to within one bucket.
+func newServeStats(reg *obs.Registry) *serveStats {
+	t := &serveStats{}
+	lat := reg.Histogram("crossbfs_query_latency_seconds",
+		"Query service time in seconds (admission wait + traversal + shaping), by workload class and kind.",
+		obs.LatencyBuckets(), obs.LabelClass, obs.LabelKind)
+	for i, kind := range kindLabels {
+		t.latency[i] = lat.With(classOf(kind), kind)
+	}
+	out := reg.Counter("crossbfs_admission_outcomes_total",
+		"Completed requests by admission outcome.", obs.LabelReason)
+	for i, reason := range reasonLabels {
+		t.outcomes[i] = out.With(reason)
+	}
+	return t
 }
 
 func (t *serveStats) observeKind(kind string) {
@@ -104,11 +196,32 @@ func (t *serveStats) observeKind(kind string) {
 	}
 }
 
-func (t *serveStats) observeOutcome(status int, elapsedUS int64) {
+// reasonFor maps an HTTP status to its outcome label index.
+func reasonFor(status int) int {
+	switch {
+	case status < 300:
+		return reasonOK
+	case status == 429:
+		return reasonQueueFull
+	case status == 504:
+		return reasonDeadline
+	case status == 503:
+		return reasonUnavailable
+	case status >= 500:
+		return reasonServerError
+	default:
+		return reasonClientError
+	}
+}
+
+func (t *serveStats) observeOutcome(kind string, status int, elapsedUS int64) {
 	switch {
 	case status < 300:
 		t.ok.Add(1)
 		t.latencyHist[histBucket(elapsedUS)].Add(1)
+		if i := kindIndex(kind); i >= 0 {
+			t.latency[i].Observe(float64(elapsedUS) * 1e-6)
+		}
 	case status == 429:
 		t.rejected.Add(1)
 	case status == 504:
@@ -118,6 +231,7 @@ func (t *serveStats) observeOutcome(status int, elapsedUS int64) {
 	default:
 		t.clientErr.Add(1)
 	}
+	t.outcomes[reasonFor(status)].Inc()
 }
 
 // histBucket maps a non-negative value to its power-of-two bucket,

@@ -23,9 +23,12 @@ const retryAfterSeconds = 1
 //	POST /query         run one query (JSON body; see Query)
 //	GET  /graphs        list resident graphs
 //	GET  /healthz       liveness + admission gauges
-//	GET  /metrics       obs.Metrics + serve counters, text form
-//	GET  /metrics.json  the same counters as JSON
+//	GET  /readyz        readiness (503 until armed, and again during drain)
+//	GET  /metrics       dimensional families (Prometheus text exposition)
+//	                    followed by the legacy flat counter page
+//	GET  /metrics.json  the flat counters as JSON
 //	GET  /debug/flight  flight-recorder dump (Chrome trace JSON)
+//	GET  /debug/slo     SLO verdicts: burn rates and breach state
 //
 // Every response is JSON except /metrics (text) and /debug/flight
 // (a trace file). Errors use the {"error": {"code", "message"}}
@@ -35,9 +38,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/graphs", s.handleGraphs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	return mux
 }
 
@@ -117,13 +122,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics scrapes the combined counter page: the obs.Metrics
-// taxonomy first, then the serve-layer counters, one sorted
-// "crossbfs_<name> <value>" line each.
+// handleReadyz is the readiness probe: 200 once the embedder has armed
+// the server (graphs loaded, listener accepting) and until drain
+// starts. Liveness stays on /healthz — a draining daemon is alive but
+// must fall out of rotation, which is exactly the split the two probes
+// encode.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"status\":\"unready\"}\n"))
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// handleMetrics scrapes the combined counter page: the dimensional
+// families first (valid Prometheus text exposition, HELP/TYPE and all),
+// then the legacy flat pages — whose names are disjoint from every
+// family, so the whole page still parses as one exposition (the flat
+// lines are untyped samples).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.registry.WriteExposition(w)
 	_ = s.metrics.WriteText(w)
 	_ = s.stats.WriteText(w, s.gate)
+}
+
+// handleSLO reports the burn-rate engine's latest verdicts. With no
+// objectives configured the payload is an empty list, not an error —
+// "nothing to watch" is a valid configuration.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"objectives": s.SLOVerdicts(),
+		"incidents":  int64(s.incidentCell.Value()),
+		"last_incident_dir": func() string {
+			d, _ := s.lastIncidentDir.Load().(string)
+			return d
+		}(),
+	})
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {

@@ -145,11 +145,11 @@ func (s *Server) Query(ctx context.Context, q Query) (*Response, *Error) {
 	resp, err := s.query(ctx, q, started)
 	elapsed := time.Since(started).Microseconds()
 	if err != nil {
-		s.stats.observeOutcome(err.Status, elapsed)
+		s.stats.observeOutcome(q.Kind, err.Status, elapsed)
 		return nil, err
 	}
 	resp.ElapsedUS = elapsed
-	s.stats.observeOutcome(200, elapsed)
+	s.stats.observeOutcome(q.Kind, 200, elapsed)
 	return resp, nil
 }
 
@@ -165,6 +165,9 @@ func (s *Server) query(ctx context.Context, q Query, started time.Time) (*Respon
 	}
 	if serr := q.validate(sg.g.NumVertices()); serr != nil {
 		return nil, serr
+	}
+	if i := kindIndex(q.Kind); i >= 0 {
+		sg.queries[i].Inc()
 	}
 
 	ctx, cancel := context.WithDeadline(ctx, started.Add(s.deadlineFor(q.DeadlineMS)))
@@ -188,7 +191,7 @@ func (s *Server) query(ctx context.Context, q Query, started time.Time) (*Respon
 	// recorder groups the traversal under the ID the response reports.
 	id := obs.NextTraversalID()
 	resp.TraversalID = id
-	rec := obs.WithTraversalID(id, s.rec)
+	rec := obs.WithTraversalID(id, sg.rec)
 	ws := s.pool.Get(sg.g.NumVertices())
 	defer s.pool.Put(ws)
 	r, err := sg.engine.RunObserved(ctx, sg.g, q.Source, ws, rec)
@@ -220,7 +223,7 @@ func (s *Server) runMulti(ctx context.Context, sg *servedGraph, q Query, resp *R
 		Engine:      sg.engine,
 		Concurrency: 1,
 		Pool:        s.pool,
-		Recorder:    s.rec,
+		Recorder:    sg.rec,
 	}
 	err := bfs.RunManyFuncContext(ctx, sg.g, q.Sources, opts, func(i int, root int32, r *bfs.Result) error {
 		resp.Results = append(resp.Results, SourceResult{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"crossbfs/internal/bfs"
@@ -18,6 +19,10 @@ const (
 	DefaultDeadline      = 2 * time.Second
 	DefaultMaxDeadline   = 30 * time.Second
 	DefaultSampleK       = 8
+
+	DefaultSLOPoll            = 10 * time.Second
+	DefaultSLOCooldown        = 10 * time.Minute
+	DefaultIncidentCPUProfile = time.Second
 )
 
 // Planner cutoffs: graphs below serialCutoff vertices run the serial
@@ -65,6 +70,29 @@ type Config struct {
 	Recorder obs.Recorder
 	// Pool supplies traversal workspaces; nil uses bfs.DefaultPool.
 	Pool *bfs.WorkspacePool
+
+	// Objectives are the serving SLOs (parse with ParseObjectives; the
+	// selectors must come from that function's vocabulary). When any
+	// are set, the server runs a burn-rate evaluator at SLOPoll
+	// cadence and serves verdicts on /debug/slo.
+	Objectives []obs.Objective
+	// SLOPoll is the evaluator's tick interval; 0 selects
+	// DefaultSLOPoll.
+	SLOPoll time.Duration
+	// SLOCooldown spaces breach captures: at most one incident bundle
+	// per cooldown. 0 selects DefaultSLOCooldown.
+	SLOCooldown time.Duration
+	// IncidentDir is where breach captures land (one subdirectory per
+	// incident: cpu.pprof, heap.pprof, flight.json, slo.json). Empty
+	// disables capture — breaches still evaluate and gauge.
+	IncidentDir string
+	// IncidentCPUProfile is how long the breach capture profiles the
+	// CPU; 0 selects DefaultIncidentCPUProfile.
+	IncidentCPUProfile time.Duration
+	// OnIncident, when non-nil, is called after each capture attempt
+	// with the bundle directory and the capture error, if any (the
+	// hook bfsd uses to log incidents).
+	OnIncident func(dir string, v obs.Verdict, err error)
 }
 
 // GraphInfo describes one resident graph (the /graphs payload).
@@ -81,28 +109,48 @@ type GraphInfo struct {
 }
 
 // servedGraph pairs a resident CSR with the engine the planner chose
-// for it at registration time.
+// for it at registration time, plus the graph's recorder chain: the
+// server-wide chain extended with the engine-labeled registry recorder
+// and the per-graph query counters, all interned at AddGraph.
 type servedGraph struct {
-	info   GraphInfo
-	g      *graph.CSR
-	engine bfs.Engine
+	info    GraphInfo
+	g       *graph.CSR
+	engine  bfs.Engine
+	rec     obs.Recorder
+	queries [kindCount]*obs.Cell // crossbfs_graph_queries_total{graph,kind}
 }
 
 // Server is the daemon core: resident graphs, the admission gate, the
 // workspace pool, and the telemetry spine. It is safe for concurrent
 // use; cmd/bfsd mounts Server.Handler behind net/http.
 type Server struct {
-	cfg     Config
-	metrics *obs.Metrics
-	ring    *obs.Ring
-	sampler *obs.Sampler
+	cfg      Config
+	metrics  *obs.Metrics
+	registry *obs.Registry
+	ring     *obs.Ring
+	sampler  *obs.Sampler
 	// rec is the per-traversal recorder chain: metrics always, the
 	// flight ring (and Config.Recorder) behind the 1-in-K sampler.
+	// Per-graph chains (servedGraph.rec) extend it with the
+	// engine-labeled registry recorder.
 	rec   obs.Recorder
 	pool  *bfs.WorkspacePool
 	gate  *gate
-	stats serveStats
+	stats *serveStats
 	start time.Time
+
+	// ready is the /readyz state: explicitly armed by the embedder
+	// (bfsd, once every graph is loaded) and lowered at Close, so load
+	// balancers stop routing before the listener goes away.
+	ready atomic.Bool
+
+	// SLO machinery (nil/zero when no objectives are configured).
+	slo             *obs.SLO
+	sloStop         chan struct{}
+	sloDone         chan struct{}
+	incidentCell    *obs.Cell
+	profiling       atomic.Bool
+	lastIncidentDir atomic.Value // string
 
 	mu     sync.RWMutex
 	graphs map[string]*servedGraph
@@ -136,21 +184,40 @@ func NewServer(cfg Config) *Server {
 	if cfg.Pool == nil {
 		cfg.Pool = bfs.DefaultPool
 	}
-	s := &Server{
-		cfg:     cfg,
-		metrics: obs.NewMetrics(),
-		ring:    obs.NewRing(cfg.FlightKeep, cfg.FlightMaxEvents),
-		pool:    cfg.Pool,
-		gate:    newGate(cfg.MaxConcurrent, cfg.QueueDepth),
-		graphs:  make(map[string]*servedGraph),
-		start:   time.Now(),
+	if cfg.SLOPoll <= 0 {
+		cfg.SLOPoll = DefaultSLOPoll
 	}
+	if cfg.SLOCooldown <= 0 {
+		cfg.SLOCooldown = DefaultSLOCooldown
+	}
+	if cfg.IncidentCPUProfile <= 0 {
+		cfg.IncidentCPUProfile = DefaultIncidentCPUProfile
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		metrics:  obs.NewMetrics(),
+		registry: reg,
+		ring:     obs.NewRing(cfg.FlightKeep, cfg.FlightMaxEvents),
+		pool:     cfg.Pool,
+		gate:     newGate(cfg.MaxConcurrent, cfg.QueueDepth),
+		stats:    newServeStats(reg),
+		graphs:   make(map[string]*servedGraph),
+		start:    time.Now(),
+	}
+	s.lastIncidentDir.Store("")
+	obs.RegisterRingGauges(reg, s.ring)
 	sampled := obs.Recorder(s.ring)
 	if cfg.Recorder != nil {
 		sampled = obs.Multi(s.ring, cfg.Recorder)
 	}
 	s.sampler = obs.NewSampler(sampled, cfg.SampleK, cfg.SampleSeed)
 	s.rec = obs.Multi(s.sampler, s.metrics)
+	s.incidentCell = reg.Counter("crossbfs_incidents_total",
+		"Incident bundles captured by the SLO breach hook.").With()
+	if len(cfg.Objectives) > 0 {
+		s.startSLO()
+	}
 	return s
 }
 
@@ -164,13 +231,12 @@ func (s *Server) AddGraph(name, origin string, g *graph.CSR) error {
 	if g == nil || g.NumVertices() == 0 {
 		return badRequest(fmt.Sprintf("graph %q is empty", name))
 	}
-	e := s.planEngine(g)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.graphs[name]; dup {
-		return badRequest(fmt.Sprintf("graph %q already registered", name))
+	e, ranks := s.planEngine(g)
+	rr := obs.NewRegistryRecorder(s.registry, e.Name())
+	if ranks > 1 {
+		rr = rr.WithRanks(ranks)
 	}
-	s.graphs[name] = &servedGraph{
+	sg := &servedGraph{
 		info: GraphInfo{
 			Name:     name,
 			Vertices: g.NumVertices(),
@@ -180,7 +246,19 @@ func (s *Server) AddGraph(name, origin string, g *graph.CSR) error {
 		},
 		g:      g,
 		engine: e,
+		rec:    obs.Multi(s.rec, rr),
 	}
+	qf := s.registry.Counter("crossbfs_graph_queries_total",
+		"Queries reaching a resident graph, by graph and kind.", obs.LabelGraph, obs.LabelKind)
+	for i, kind := range kindLabels {
+		sg.queries[i] = qf.With(name, kind)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.graphs[name]; dup {
+		return badRequest(fmt.Sprintf("graph %q already registered", name))
+	}
+	s.graphs[name] = sg
 	return nil
 }
 
@@ -190,15 +268,17 @@ func (s *Server) AddGraph(name, origin string, g *graph.CSR) error {
 // partitioned engine at shardCutoff and above when the server is
 // configured with ranks, and the direction-optimizing hybrid at the
 // repo-wide default (M, N) everywhere else.
-func (s *Server) planEngine(g *graph.CSR) bfs.Engine {
+// It also reports the rank count (1 for unsharded engines) so the
+// graph's labeled recorder can intern per-rank exchange cells.
+func (s *Server) planEngine(g *graph.CSR) (bfs.Engine, int) {
 	n := g.NumVertices()
 	switch {
 	case n < serialCutoff:
-		return bfs.SerialEngine()
+		return bfs.SerialEngine(), 1
 	case s.cfg.Shards > 1 && n >= shardCutoff:
-		return bfs.NewShardedEngine(s.cfg.Shards, bfs.DefaultM, bfs.DefaultN)
+		return bfs.NewShardedEngine(s.cfg.Shards, bfs.DefaultM, bfs.DefaultN), s.cfg.Shards
 	default:
-		return bfs.DefaultEngine()
+		return bfs.DefaultEngine(), 1
 	}
 }
 
@@ -237,6 +317,27 @@ func (s *Server) Graphs() []GraphInfo {
 // Metrics exposes the server's always-on counter aggregator.
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
 
+// Registry exposes the dimensional metric families (the typed half of
+// the /metrics page).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// SetReady arms or lowers the /readyz state. A fresh server reports
+// not-ready; the embedder arms it once every graph is registered and
+// the listener is up. Close lowers it again before draining.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the server is accepting routed traffic.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// SLOVerdicts returns the latest SLO evaluations (nil when no
+// objectives are configured).
+func (s *Server) SLOVerdicts() []obs.Verdict {
+	if s.slo == nil {
+		return nil
+	}
+	return s.slo.Verdicts()
+}
+
 // FlightRecorder exposes the sampled flight-recorder ring (the
 // /debug/flight payload source).
 func (s *Server) FlightRecorder() *obs.Ring { return s.ring }
@@ -269,6 +370,11 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.closeMu.Unlock()
+	s.ready.Store(false)
+	if s.sloStop != nil {
+		close(s.sloStop)
+		<-s.sloDone
+	}
 	s.inflight.Wait()
 }
 

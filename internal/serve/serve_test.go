@@ -392,26 +392,31 @@ func TestAddGraphRejects(t *testing.T) {
 	}
 }
 
+func planName(s *Server, g *graph.CSR) string {
+	e, _ := s.planEngine(g)
+	return e.Name()
+}
+
 func TestPlanEngineCutoffs(t *testing.T) {
 	small := NewServer(Config{})
-	if name := small.planEngine(pathGraph(t, 100)).Name(); name != "serial" {
+	if name := planName(small, pathGraph(t, 100)); name != "serial" {
 		t.Errorf("small graph planned %q, want serial", name)
 	}
 	big := mustRMAT(t, 11, 4, 1) // 2048 vertices: still below serialCutoff
-	if name := small.planEngine(big).Name(); name != "serial" {
+	if name := planName(small, big); name != "serial" {
 		t.Errorf("scale-11 planned %q, want serial", name)
 	}
 	mid := mustRMAT(t, 13, 4, 1) // 8192: hybrid territory
-	if name := small.planEngine(mid).Name(); name == "serial" {
+	if name := planName(small, mid); name == "serial" {
 		t.Errorf("scale-13 planned serial, want a parallel kernel")
 	}
 	sharded := NewServer(Config{Shards: 4})
 	huge := mustRMAT(t, 16, 4, 1)
-	if name := sharded.planEngine(huge).Name(); name != "sharded(4,hybrid(64,64))" {
+	if name := planName(sharded, huge); name != "sharded(4,hybrid(64,64))" {
 		t.Errorf("scale-16 with shards planned %q, want the sharded engine", name)
 	}
 	// Shards configured but graph below the cutoff: stay unsharded.
-	if name := sharded.planEngine(mid).Name(); name == "sharded(4,hybrid(64,64))" {
+	if name := planName(sharded, mid); name == "sharded(4,hybrid(64,64))" {
 		t.Errorf("scale-13 with shards planned the sharded engine; cutoff ignored")
 	}
 }

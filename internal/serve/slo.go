@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"crossbfs/internal/obs"
+)
+
+// SLO wiring: objectives from Config bind to the labeled serveStats
+// cells, a ticker drives the burn-rate evaluator, and a breach fires
+// the incident capture — CPU + heap pprof plus a flight-ring dump into
+// one directory per incident, at most once per cooldown. The capture
+// answers "what was the daemon doing when p99 went bad" from a live
+// process, no restart, no repro.
+
+// ParseObjectives parses and validates -slo declarations: the
+// obs.ParseObjective grammar, with selectors restricted to what the
+// serve layer can source — a workload class (oltp, olap), a query kind
+// (reach, path, khop, multi), "total", or the error-ratio form.
+func ParseObjectives(specs []string) ([]obs.Objective, error) {
+	out := make([]obs.Objective, 0, len(specs))
+	for _, spec := range specs {
+		o, err := obs.ParseObjective(spec)
+		if err != nil {
+			return nil, err
+		}
+		if o.Kind == obs.LatencyObjective {
+			if _, ok := latencySelectors[o.Selector]; !ok {
+				return nil, fmt.Errorf("objective %q: unknown selector %q (want total, all, oltp, olap, reach, path, khop, multi, or error)", spec, o.Selector)
+			}
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// latencySelectors maps each latency selector to the kind indices it
+// covers.
+var latencySelectors = map[string][]int{
+	"total":   {kindIdxReach, kindIdxPath, kindIdxKHop, kindIdxMulti},
+	"all":     {kindIdxReach, kindIdxPath, kindIdxKHop, kindIdxMulti},
+	"oltp":    {kindIdxReach, kindIdxPath},
+	"olap":    {kindIdxKHop, kindIdxMulti},
+	KindReach: {kindIdxReach},
+	KindPath:  {kindIdxPath},
+	KindKHop:  {kindIdxKHop},
+	KindMulti: {kindIdxMulti},
+}
+
+// resolveSource binds one objective to the serveStats counters.
+func (t *serveStats) resolveSource(o obs.Objective) (obs.SLOSource, error) {
+	if o.Kind == obs.ErrorRatioObjective {
+		return func() (total, bad float64) {
+			for _, c := range t.outcomes {
+				total += c.Value()
+			}
+			bad = t.outcomes[reasonDeadline].Value() + t.outcomes[reasonServerError].Value()
+			return total, bad
+		}, nil
+	}
+	idxs, ok := latencySelectors[o.Selector]
+	if !ok {
+		return nil, fmt.Errorf("objective %q: unknown selector %q (want total, all, oltp, olap, reach, path, khop, multi, or error)", o.Spec, o.Selector)
+	}
+	cells := make([]*obs.Cell, len(idxs))
+	for i, k := range idxs {
+		cells[i] = t.latency[k]
+	}
+	return obs.LatencySource(o.Threshold, cells...), nil
+}
+
+// startSLO builds the evaluator from Config.Objectives, registers the
+// burn gauges, and starts the poll loop. Objectives must already be
+// valid (ParseObjectives); a selector the stats cannot source is a
+// wiring bug and panics at construction, like a bad metric
+// registration.
+func (s *Server) startSLO() {
+	objs := make([]obs.SLOObjective, 0, len(s.cfg.Objectives))
+	for _, o := range s.cfg.Objectives {
+		src, err := s.stats.resolveSource(o)
+		if err != nil {
+			panic("serve: " + err.Error())
+		}
+		objs = append(objs, obs.SLOObjective{Objective: o, Source: src})
+	}
+	s.slo = obs.NewSLO(objs, obs.SLOOptions{
+		Cooldown: s.cfg.SLOCooldown,
+		OnBreach: s.captureIncident,
+	})
+	burn := s.registry.Gauge("crossbfs_slo_burn",
+		"Long-window burn rate per SLO objective (1.0 consumes the error budget exactly at the sustainable rate).",
+		obs.LabelObjective)
+	breaching := s.registry.Gauge("crossbfs_slo_breaching",
+		"Whether the SLO objective is currently breaching (both burn windows at or above threshold).",
+		obs.LabelObjective)
+	for i, o := range s.cfg.Objectives {
+		i := i
+		burn.WithFunc(func() float64 {
+			v, _ := s.slo.Verdict(i)
+			return v.BurnLong
+		}, o.Spec)
+		breaching.WithFunc(func() float64 {
+			if v, _ := s.slo.Verdict(i); v.Breaching {
+				return 1
+			}
+			return 0
+		}, o.Spec)
+	}
+	// Prime the verdicts so /debug/slo and the burn gauges answer from
+	// the first scrape; a single sample can never breach (burn needs a
+	// traffic delta between two samples).
+	s.slo.Tick(time.Now())
+	s.sloStop = make(chan struct{})
+	s.sloDone = make(chan struct{})
+	go s.sloLoop()
+}
+
+// sloLoop drives the evaluator until Close. It deliberately keys off
+// the stop channel, not a context: the loop's lifetime is the
+// server's, and Close owns it.
+func (s *Server) sloLoop() {
+	defer close(s.sloDone)
+	t := time.NewTicker(s.cfg.SLOPoll)
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			s.slo.Tick(now)
+		case <-s.sloStop:
+			return
+		}
+	}
+}
+
+// incidentManifest is the slo.json body of a capture.
+type incidentManifest struct {
+	CapturedAt string        `json:"captured_at"`
+	Breach     obs.Verdict   `json:"breach"`
+	Verdicts   []obs.Verdict `json:"verdicts"`
+}
+
+// captureIncident is the breach hook: one directory per incident under
+// Config.IncidentDir holding cpu.pprof (IncidentCPUProfile long),
+// heap.pprof, flight.json (the flight-recorder dump), and slo.json
+// (the verdicts at breach time). Runs on the SLO loop goroutine, so
+// captures serialize naturally; the cooldown spaces them.
+func (s *Server) captureIncident(v obs.Verdict) {
+	if s.cfg.IncidentDir == "" {
+		if s.cfg.OnIncident != nil {
+			s.cfg.OnIncident("", v, nil)
+		}
+		return
+	}
+	n := s.incidentCell
+	dir := filepath.Join(s.cfg.IncidentDir,
+		fmt.Sprintf("incident-%s-%03d", time.Now().UTC().Format("20060102T150405"), int(n.Value())+1))
+	err := s.writeIncident(dir, v)
+	if err == nil {
+		n.Inc()
+		s.lastIncidentDir.Store(dir)
+	}
+	if s.cfg.OnIncident != nil {
+		s.cfg.OnIncident(dir, v, err)
+	}
+}
+
+func (s *Server) writeIncident(dir string, v obs.Verdict) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("incident dir: %w", err)
+	}
+	man := incidentManifest{
+		CapturedAt: time.Now().UTC().Format(time.RFC3339Nano),
+		Breach:     v,
+		Verdicts:   s.slo.Verdicts(),
+	}
+	manJSON, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "slo.json"), manJSON, 0o644); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+
+	// Flight dump first: it is the cheapest artifact and the one that
+	// shows what the traversals were doing.
+	ff, err := os.Create(filepath.Join(dir, "flight.json"))
+	if err != nil {
+		return fmt.Errorf("flight dump: %w", err)
+	}
+	if err := s.ring.WriteTrace(ff); err != nil {
+		ff.Close()
+		return fmt.Errorf("flight dump: %w", err)
+	}
+	if err := ff.Close(); err != nil {
+		return fmt.Errorf("flight dump: %w", err)
+	}
+
+	// Heap profile (after a GC so live objects dominate).
+	hf, err := os.Create(filepath.Join(dir, "heap.pprof"))
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+		hf.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	if err := hf.Close(); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+
+	// CPU profile last: it blocks this goroutine for the profile
+	// window. Guarded against a concurrent profiler (pprof allows only
+	// one); losing the CPU profile degrades the bundle, it does not
+	// void it.
+	if !s.profiling.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.profiling.Store(false)
+	cf, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return fmt.Errorf("cpu profile: %w", err)
+	}
+	defer cf.Close()
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		// Another profiler (e.g. a live /debug/pprof client) owns the
+		// CPU profile; keep the rest of the bundle.
+		os.Remove(filepath.Join(dir, "cpu.pprof"))
+		return nil
+	}
+	time.Sleep(s.cfg.IncidentCPUProfile)
+	pprof.StopCPUProfile()
+	return nil
+}
